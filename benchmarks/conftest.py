@@ -1,0 +1,38 @@
+"""Shared benchmark scaffolding.
+
+Every benchmark regenerates one paper table/figure at ``smoke`` scale (see
+``repro.experiments.common.SCALES``), asserts the paper's *qualitative*
+shape on the measured data, and writes the rendered rows/series to
+``benchmarks/output/<name>.txt`` so the artifacts survive the run.
+
+Paper-scale reproduction (8x8x8, 4,096 nodes) uses the same drivers with
+``scale="paper"`` — see EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_output(output_dir):
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(output_dir, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,222 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These have no paper ground truth; they quantify the sensitivity of the
+reproduction to its own knobs and assert only directional sanity:
+
+* OmniWAR deroute budget M (VCs spent vs throughput gained on DCR),
+* the back-to-back same-dimension deroute restriction (Section 5.2's
+  optimization),
+* the congestion estimator (credit / queue / credit+queue),
+* age-based vs round-robin arbitration,
+* UGAL's Valiant candidate count.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import measure_point, saturation_throughput
+from repro.config import default_config
+from repro.core.omniwar import OmniWAR
+from repro.core.registry import make_algorithm
+from repro.core.ugal import Ugal
+from repro.topology.hyperx import HyperX
+from repro.traffic.patterns import BitComplement, DimensionComplementReverse
+
+TOPO3D = HyperX((3, 3, 3), 2)
+CYCLES = 2500
+
+
+def test_ablation_omniwar_deroute_budget(benchmark, save_output):
+    """More deroute budget -> more DCR throughput (VCs buy path diversity)."""
+    pattern = DimensionComplementReverse(TOPO3D)
+
+    def experiment():
+        out = {}
+        for m in (0, 1, 3):
+            algo = OmniWAR(TOPO3D, deroutes=m)
+            sweep = saturation_throughput(
+                TOPO3D, algo, pattern, granularity=0.2,
+                total_cycles=CYCLES, cfg=default_config(), seed=3,
+            )
+            out[m] = sweep.saturation_rate
+        return out
+
+    sat = run_once(benchmark, experiment)
+    save_output(
+        "ablation_omniwar_deroutes",
+        format_table(
+            ["deroute budget M", "VCs (N+M)", "DCR saturation throughput"],
+            [[m, 3 + m, f"{s:.2f}"] for m, s in sorted(sat.items())],
+            title="Ablation: OmniWAR deroute budget on DCR",
+        ),
+    )
+    assert sat[0] < sat[3], "deroutes must buy throughput on DCR"
+    assert sat[1] <= sat[3] + 0.2
+
+
+def test_ablation_back_to_back_restriction(benchmark, save_output):
+    """Section 5.2's optimization: restricting back-to-back same-dimension
+    deroutes must not cost meaningful throughput."""
+    pattern = BitComplement(TOPO3D.num_terminals)
+
+    def experiment():
+        out = {}
+        for name in ("OmniWAR", "OmniWAR-b2b"):
+            algo = make_algorithm(name, TOPO3D)
+            out[name] = measure_point(
+                TOPO3D, algo, pattern, 0.3, total_cycles=CYCLES, seed=3
+            )
+        return out
+
+    res = run_once(benchmark, experiment)
+    save_output(
+        "ablation_b2b",
+        format_table(
+            ["variant", "accepted", "mean latency", "mean deroutes"],
+            [
+                [k, f"{v.accepted_rate:.3f}", f"{v.mean_latency:.1f}",
+                 f"{v.mean_deroutes:.2f}"]
+                for k, v in res.items()
+            ],
+            title="Ablation: back-to-back deroute restriction (BC @ 0.3)",
+        ),
+    )
+    a, b = res["OmniWAR"], res["OmniWAR-b2b"]
+    assert a.stable and b.stable
+    assert abs(a.accepted_rate - b.accepted_rate) < 0.05
+
+
+def test_ablation_congestion_estimator(benchmark, save_output):
+    """DimWAR under each congestion-estimation mode on adversarial traffic."""
+    pattern = BitComplement(TOPO3D.num_terminals)
+
+    def experiment():
+        out = {}
+        for mode in ("credit", "queue", "credit_queue"):
+            cfg = default_config()
+            cfg = replace(cfg, router=replace(cfg.router, congestion_mode=mode))
+            algo = make_algorithm("DimWAR", TOPO3D)
+            out[mode] = measure_point(
+                TOPO3D, algo, pattern, 0.3, total_cycles=CYCLES, cfg=cfg, seed=3
+            )
+        return out
+
+    res = run_once(benchmark, experiment)
+    save_output(
+        "ablation_congestion",
+        format_table(
+            ["estimator", "accepted", "mean latency", "stable"],
+            [
+                [k, f"{v.accepted_rate:.3f}", f"{v.mean_latency:.1f}", v.stable]
+                for k, v in res.items()
+            ],
+            title="Ablation: congestion estimator (DimWAR, BC @ 0.3)",
+        ),
+    )
+    # downstream-credit knowledge is essential; with it, BC at 0.3 is stable
+    assert res["credit"].stable and res["credit_queue"].stable
+    for v in res.values():
+        assert v.accepted_rate > 0.2
+
+
+def test_ablation_arbiter(benchmark, save_output):
+    """Age-based (the paper's choice) vs round-robin arbitration near
+    saturation: age-based must not lose throughput and keeps the latency
+    tail in check."""
+    pattern = BitComplement(TOPO3D.num_terminals)
+
+    def experiment():
+        out = {}
+        for arb in ("age", "round_robin"):
+            cfg = default_config()
+            cfg = replace(cfg, router=replace(cfg.router, arbiter=arb))
+            algo = make_algorithm("OmniWAR", TOPO3D)
+            out[arb] = measure_point(
+                TOPO3D, algo, pattern, 0.28, total_cycles=CYCLES, cfg=cfg, seed=3
+            )
+        return out
+
+    res = run_once(benchmark, experiment)
+    save_output(
+        "ablation_arbiter",
+        format_table(
+            ["arbiter", "accepted", "mean latency", "p99 latency"],
+            [
+                [k, f"{v.accepted_rate:.3f}", f"{v.mean_latency:.1f}",
+                 f"{v.p99_latency:.0f}"]
+                for k, v in res.items()
+            ],
+            title="Ablation: output arbitration (OmniWAR, BC @ 0.28)",
+        ),
+    )
+    assert res["age"].stable
+    assert res["age"].accepted_rate >= res["round_robin"].accepted_rate - 0.05
+
+
+def test_ablation_ugal_candidates(benchmark, save_output):
+    """More Valiant candidates give UGAL's source decision more options."""
+    pattern = BitComplement(TOPO3D.num_terminals)
+
+    def experiment():
+        out = {}
+        for k in (1, 4):
+            algo = Ugal(TOPO3D, val_candidates=k)
+            out[k] = measure_point(
+                TOPO3D, algo, pattern, 0.3, total_cycles=CYCLES, seed=3
+            )
+        return out
+
+    res = run_once(benchmark, experiment)
+    save_output(
+        "ablation_ugal_candidates",
+        format_table(
+            ["val candidates", "accepted", "mean latency", "stable"],
+            [
+                [k, f"{v.accepted_rate:.3f}", f"{v.mean_latency:.1f}", v.stable]
+                for k, v in res.items()
+            ],
+            title="Ablation: UGAL Valiant-candidate count (BC @ 0.3)",
+        ),
+    )
+    for v in res.values():
+        assert v.accepted_rate > 0.25
+    assert res[4].mean_latency <= res[1].mean_latency * 1.3
+
+
+def test_ablation_sequential_allocation(benchmark, save_output):
+    """Footnote 5: a sequential allocator can sharpen any adaptive
+    algorithm's decisions but is architecturally infeasible; enabling our
+    model of it must not change steady-state results materially (it was
+    omitted from the paper's evaluation for exactly that reason)."""
+
+    def experiment():
+        out = {}
+        for seq in (False, True):
+            cfg = default_config()
+            cfg = replace(
+                cfg, router=replace(cfg.router, sequential_allocation=seq)
+            )
+            algo = make_algorithm("OmniWAR", TOPO3D)
+            out[seq] = measure_point(
+                TOPO3D, algo, BitComplement(TOPO3D.num_terminals), 0.3,
+                total_cycles=CYCLES, cfg=cfg, seed=3,
+            )
+        return out
+
+    res = run_once(benchmark, experiment)
+    save_output(
+        "ablation_seq_alloc",
+        format_table(
+            ["sequential allocation", "accepted", "mean latency", "p99"],
+            [
+                [k, f"{v.accepted_rate:.3f}", f"{v.mean_latency:.1f}",
+                 f"{v.p99_latency:.0f}"]
+                for k, v in res.items()
+            ],
+            title="Ablation: sequential allocation (OmniWAR, BC @ 0.3)",
+        ),
+    )
+    assert res[False].stable and res[True].stable
+    assert abs(res[False].accepted_rate - res[True].accepted_rate) < 0.03

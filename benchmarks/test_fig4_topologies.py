@@ -1,0 +1,23 @@
+"""Benchmark for Figure 4: the stencil application on Fat Tree vs Dragonfly
+vs HyperX, each with its natural adaptive routing.
+
+The paper reports the HyperX yielding a 25-38% reduction in communication
+time; at smoke scale we assert the direction (HyperX fastest) rather than
+the exact margin.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4_topologies
+
+
+def test_fig4_topologies(benchmark, save_output):
+    result = run_once(benchmark, fig4_topologies.run, "smoke", (1,), 5)
+    save_output("fig4_topologies", fig4_topologies.render(result))
+    times = {name: t for (name, _), t in result.times.items()}
+    assert set(times) == {"FatTree", "Dragonfly", "HyperX"}
+    # the paper's headline: HyperX wins the stencil head-to-head
+    assert times["HyperX"] < times["Dragonfly"]
+    assert times["HyperX"] < times["FatTree"]
+    # and the reduction is meaningful (paper: 25-38% at full scale)
+    assert result.hyperx_speedup("Dragonfly", 1) > 0.05

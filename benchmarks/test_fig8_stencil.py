@@ -1,0 +1,65 @@
+"""Benchmark for Figure 8: 27-point stencil execution time per algorithm.
+
+Runs the three phase variants (collectives only / halo only / full app) at
+smoke scale for 1 iteration, plus the full app at 4 iterations (the paper
+uses 16; 4 shows the same phase-blending at smoke scale), and asserts the
+paper's qualitative rankings on the measured times.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig8_stencil
+
+ALGOS = ("DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR")
+
+
+def test_fig8_stencil(benchmark, save_output):
+    def experiment():
+        r = fig8_stencil.run(
+            algorithms=ALGOS,
+            modes=("collective", "halo", "full"),
+            iteration_counts=(1,),
+            scale="smoke",
+            repeats=3,  # average over placements: smoke-scale noise control
+        )
+        r2 = fig8_stencil.run(
+            algorithms=("DOR", "DimWAR", "OmniWAR"),
+            modes=("full",),
+            iteration_counts=(4,),
+            scale="smoke",
+        )
+        r.times.update(r2.times)
+        return r
+
+    result = run_once(benchmark, experiment)
+    save_output("fig8_stencil", fig8_stencil.render(result))
+    t = result.times
+
+    # Figure 8a: collectives are latency bound — every algorithm except VAL
+    # is close to the best; VAL pays the random-intermediate latency.
+    coll = {a: t[("collective", 1, a)] for a in ALGOS}
+    best = min(coll.values())
+    for a in ALGOS:
+        if a != "VAL":
+            assert coll[a] <= 1.35 * best, f"{a} collective too slow"
+    assert coll["VAL"] > 1.2 * best
+
+    # Figure 8b: halo exchanges are bandwidth bound — the oblivious
+    # algorithms (DOR, VAL) are the two worst; OmniWAR beats both clearly
+    # and the incremental pair is competitive with the best.
+    halo = {a: t[("halo", 1, a)] for a in ALGOS}
+    worst_two = sorted(halo, key=halo.get)[-2:]
+    assert set(worst_two) <= {"DOR", "VAL"}
+    assert halo["OmniWAR"] < 0.95 * halo["DOR"]
+    assert halo["OmniWAR"] < halo["VAL"]
+    assert halo["DimWAR"] < max(halo["DOR"], halo["VAL"])
+
+    # Figure 8c: the full app follows the halo ranking; OmniWAR near-top.
+    full = {a: t[("full", 1, a)] for a in ALGOS}
+    assert full["OmniWAR"] < full["DOR"]
+    assert full["OmniWAR"] < full["VAL"]
+    assert full["OmniWAR"] <= 1.08 * min(full.values())
+
+    # 4 blended iterations keep the incremental advantage.
+    full4 = {a: t[("full", 4, a)] for a in ("DOR", "DimWAR", "OmniWAR")}
+    assert full4["OmniWAR"] < full4["DOR"]

@@ -1,0 +1,35 @@
+"""Benchmark for the Section 3.2 irregular-workload scenario.
+
+A small job saturates one router column; a large job's minimal paths cross
+it mid-route.  The paper's motivation claims source-adaptive routing either
+rams into the localized congestion or over-reacts globally, while routing
+that can exploit HyperX's full path diversity slips around it.
+"""
+
+from conftest import run_once
+
+from repro.experiments import irregular
+
+ALGOS = ("DOR", "UGAL", "UGAL+", "DimWAR", "OmniWAR")
+
+
+def test_irregular_workload(benchmark, save_output):
+    result = run_once(
+        benchmark, irregular.run, ALGOS, "smoke",
+    )
+    save_output("irregular_workload", irregular.render(result))
+    lat = {n: r.large_job_latency for n, r in result.results.items()}
+    p99 = {n: r.large_job_p99 for n, r in result.results.items()}
+
+    # OmniWAR — free to traverse dimensions in any order — avoids the hot
+    # column entirely and gives the large job the best latency.
+    assert lat["OmniWAR"] == min(lat.values())
+    # DOR rams straight into the localized congestion.
+    assert lat["OmniWAR"] < 0.75 * lat["DOR"]
+    assert p99["OmniWAR"] < 0.5 * p99["DOR"]
+    # Source-adaptive UGAL recovers some of the gap (global Valiant) but the
+    # HyperX-aware algorithms with in-dimension freedom do better.
+    assert lat["UGAL+"] < lat["UGAL"] + 5
+    # DimWAR's forced dimension order cannot dodge a hot *dimension plane*:
+    # this is the DCR weakness appearing in a multi-tenant guise.
+    assert lat["DimWAR"] > lat["OmniWAR"]

@@ -1,0 +1,29 @@
+"""Benchmark for the Section 5.4 routing-table area analysis."""
+
+from conftest import run_once
+
+from repro.experiments import table_area
+
+
+def test_table_area(benchmark, save_output):
+    result = run_once(benchmark, table_area.run)
+    save_output("table_area", table_area.render(result))
+    g = result.geometries
+
+    # deterministic routing: one option per entry (narrow tables)
+    assert g[("DOR", "paper", "full")].options_per_entry == 1
+    # non-deterministic algorithms require wider tables (Section 5.4)
+    assert (
+        g[("OmniWAR", "paper", "full")].width_bits
+        > g[("DimWAR", "paper", "full")].width_bits
+        > g[("DOR", "paper", "full")].width_bits
+    )
+    # size-optimized (Aries/Gen-Z style) tables: depth greatly reduced
+    for name in ("DOR", "DimWAR", "OmniWAR"):
+        full = g[(name, "paper", "full")]
+        opt = g[(name, "paper", "size-optimized")]
+        assert opt.depth * 10 <= full.depth
+        assert opt.total_bits * 5 <= full.total_bits
+    # even the widest size-optimized table is tiny (~1 KiB): "the area and
+    # power overhead of the tables is negligible"
+    assert g[("OmniWAR", "paper", "size-optimized")].total_bits < 16 * 1024

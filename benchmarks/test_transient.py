@@ -1,0 +1,35 @@
+"""Benchmark: transient response to a traffic-pattern change (extension).
+
+Section 6.2's requirement — adaptive algorithms must "react quickly to
+change" — measured directly: benign UR switches to adversarial BC mid-run;
+we record windowed latency and deroute rate per algorithm.
+"""
+
+from conftest import run_once
+
+from repro.experiments import transient
+
+
+def test_transient_response(benchmark, save_output):
+    def experiment():
+        return transient.run(
+            algorithms=("UGAL", "UGAL+", "DimWAR", "OmniWAR"),
+            scale="smoke",
+            rate=0.4,
+            window=250,
+            pre_windows=5,
+            post_windows=8,
+        )
+
+    results = run_once(benchmark, experiment)
+    save_output("transient_response", transient.render(results))
+    for name, series in results.items():
+        # before the switch the adaptive algorithms route ~minimally
+        assert series.pre_switch_deroutes() < 0.25, name
+        # after it they load-balance: deroute rate ramps up
+        assert series.post_switch_deroutes() > series.pre_switch_deroutes(), name
+    # the incremental algorithms settle (stable post-switch latency)
+    for name in ("DimWAR", "OmniWAR"):
+        st = results[name].settling_time()
+        assert st is not None, f"{name} never settled after the switch"
+        assert st <= 5 * 250, f"{name} took {st} cycles to settle"

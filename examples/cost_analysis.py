@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Topology scalability and cabling-cost analysis (Figures 2 and 3).
+
+Purely analytical — no simulation — so it runs in milliseconds at the
+paper's full scale, including the quoted 64-port HyperX data points.
+
+Run:  python examples/cost_analysis.py
+"""
+
+from repro.experiments import fig2_scalability, fig3_cost
+from repro.topology.scalability import hyperx_max_nodes
+
+print(fig2_scalability.render(fig2_scalability.run(radices=[32, 48, 64, 96])))
+
+print("\nPaper's quoted 64-port HyperX maxima:")
+for dims, expected in ((2, 10_648), (3, 78_608), (4, 463_736)):
+    nodes, widths, t = hyperx_max_nodes(64, dims)
+    flag = "OK" if nodes == expected else "MISMATCH"
+    print(f"  {dims}D: {nodes:,} nodes (widths={widths}, T={t}) "
+          f"— paper says {expected:,} [{flag}]")
+
+print()
+print(fig3_cost.render(fig3_cost.run(target_sizes=[4096, 65536, 262144])))
+print("\nExpected shape: DF/HX < 1 (Dragonfly cheaper) with copper+AOC at "
+      "modern signaling rates; DF/HX >= ~1 (HyperX lower or equal) with "
+      "passive optical cables.")

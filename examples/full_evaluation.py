@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's complete evaluation at a chosen scale.
+
+Runs every figure/table driver in sequence and writes the rendered tables
+(and raw sweep JSON) to an output directory.  This is the one-command
+"reproduce the paper" entry point; the pytest benchmarks do the same work
+piecewise with shape assertions.
+
+Run:  python examples/full_evaluation.py [smoke|small|paper] [outdir]
+
+Smoke scale finishes in tens of minutes; small in hours; paper is the
+4,096-node full-fidelity configuration (budget days of CPU).
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments import (
+    fig1_paths,
+    fig2_scalability,
+    fig3_cost,
+    fig4_topologies,
+    fig5_vcusage,
+    fig6_synthetic,
+    fig7_model,
+    fig8_stencil,
+    irregular,
+    table1_comparison,
+    table_area,
+    transient,
+)
+
+scale = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+outdir = sys.argv[2] if len(sys.argv) > 2 else f"evaluation_{scale}"
+os.makedirs(outdir, exist_ok=True)
+
+
+def save(name: str, text: str) -> None:
+    path = os.path.join(outdir, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"[{time.strftime('%H:%M:%S')}] wrote {path}")
+
+
+print(f"scale={scale}, output -> {outdir}/")
+t0 = time.time()
+
+save("table1", table1_comparison.render(table1_comparison.run()))
+save("fig2_scalability", fig2_scalability.render(fig2_scalability.run()))
+save("fig3_cost", fig3_cost.render(fig3_cost.run()))
+save("fig7_model", fig7_model.run())
+save("table_area", table_area.render(table_area.run()))
+save("fig1_paths", fig1_paths.render(fig1_paths.run()))
+save("fig5_vcusage", fig5_vcusage.render(fig5_vcusage.run()))
+save("fig4_topologies", fig4_topologies.render(fig4_topologies.run(scale)))
+save("fig8_stencil", fig8_stencil.render(fig8_stencil.run(scale=scale)))
+save("transient", transient.render(transient.run(scale=scale)))
+save("irregular", irregular.render(irregular.run(scale=scale)))
+
+# Figure 6: the big one — per-pattern sweeps plus the 6g chart, with the
+# raw measured curves archived as JSON next to the rendered tables.
+result = fig6_synthetic.run_throughput_chart(scale=scale)
+for pattern in fig6_synthetic.PAPER_PATTERNS:
+    save(
+        f"fig6_{pattern}",
+        fig6_synthetic.render_load_latency(result, pattern),
+    )
+for (pattern, algo), sweep in result.sweeps.items():
+    sweep.save(os.path.join(outdir, f"fig6_{pattern}_{algo}.json"))
+save("fig6g_throughput", fig6_synthetic.render_throughput_chart(result))
+
+print(f"done in {(time.time() - t0) / 60:.1f} minutes")

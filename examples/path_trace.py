@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Path and virtual-channel tracing (Figures 1 and 5).
+
+Reproduces the paper's two illustrative figures from live simulations:
+
+* Figure 1 — after congesting the minimal channel out of a source router,
+  source-adaptive UGAL either ignores it or takes a full Valiant detour,
+  while incremental DimWAR/OmniWAR deroute once and continue minimally;
+* Figure 5 — the VC usage that makes both algorithms deadlock free:
+  DimWAR reuses its two resource classes across ordered dimensions,
+  OmniWAR's VC index is the hop count (distance classes).
+
+Run:  python examples/path_trace.py
+"""
+
+from repro.experiments import fig1_paths, fig5_vcusage
+
+print(fig1_paths.render(fig1_paths.run(probes=10)))
+print()
+print(fig5_vcusage.render(fig5_vcusage.run()))

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate DimWAR on a small HyperX and print the measurement.
+
+This is the expanded form of ``repro.quick_simulation``: build a topology,
+instantiate a routing algorithm, wire the network, attach synthetic traffic,
+and measure one load point the way the paper's methodology does (warmup,
+mid-window latency sampling, saturation detection).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HyperX, default_config, make_algorithm
+from repro.analysis import measure_point
+from repro.traffic import UniformRandom, UniformSize
+
+# 1. A 2-D HyperX: 4x4 routers, 4 terminals each (64 nodes, radix-10 routers).
+topology = HyperX(widths=(4, 4), terminals_per_router=4)
+
+# 2. The paper's light-weight incremental algorithm (2 VCs, Section 5.1).
+algorithm = make_algorithm("DimWAR", topology)
+
+# 3. Uniform-random traffic, packets 1..16 flits (the paper's size mix),
+#    offered at 30% of terminal-channel capacity.
+pattern = UniformRandom(topology.num_terminals)
+
+result = measure_point(
+    topology,
+    algorithm,
+    pattern,
+    rate=0.30,
+    total_cycles=4000,
+    cfg=default_config(),
+    size_dist=UniformSize(1, 16),
+    seed=42,
+)
+
+print(f"topology        : HyperX {topology.widths}, T={topology.terminals_per_router}")
+print(f"algorithm       : {algorithm.name} ({algorithm.num_classes} resource classes)")
+print(f"offered load    : {result.offered_rate:.2f} flits/cycle/terminal")
+print(f"accepted        : {result.accepted_rate:.3f}")
+print(f"mean latency    : {result.mean_latency:.1f} cycles (p99 {result.p99_latency:.0f})")
+print(f"mean hops       : {result.mean_hops:.2f}")
+print(f"mean deroutes   : {result.mean_deroutes:.3f}")
+print(f"verdict         : {'stable' if result.stable else 'SATURATED'} ({result.reason})")

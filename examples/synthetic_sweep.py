@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Load-latency sweep on adversarial traffic (a Figure 6-style experiment).
+
+Sweeps offered load on the URBy pattern — bit-complement in the *second*
+dimension, uniform elsewhere — the paper's key experiment showing that
+source-adaptive routing is blind to congestion it cannot see at the source
+router, while incremental routing (DimWAR) slides around it.
+
+Run:  python examples/synthetic_sweep.py            # quick (2-D network)
+      python examples/synthetic_sweep.py --3d       # the full 3-D scenario
+"""
+
+import sys
+
+from repro import HyperX, default_config, make_algorithm
+from repro.analysis import format_table, plot_sweeps, sweep_load
+from repro.traffic import UniformRandomBisection
+
+three_d = "--3d" in sys.argv
+
+if three_d:
+    topology = HyperX((4, 4, 4), 4)  # 256 nodes
+    rates = [0.10, 0.20, 0.30, 0.40, 0.50]
+    cycles = 4000
+else:
+    topology = HyperX((4, 4), 2)  # 32 nodes
+    rates = [0.10, 0.20, 0.30, 0.40, 0.50, 0.60]
+    cycles = 3000
+
+pattern = UniformRandomBisection(topology, dim=1)  # URBy
+print(f"pattern {pattern.name} on HyperX {topology.widths} "
+      f"(DOR capacity = 1/{topology.widths[1]} = "
+      f"{1 / topology.widths[1]:.3f} flits/cycle/terminal)\n")
+
+rows = []
+sweeps = {}
+for name in ("DOR", "UGAL", "DimWAR", "OmniWAR"):
+    algorithm = make_algorithm(name, topology)
+    sweep = sweep_load(
+        topology, algorithm, pattern, rates,
+        total_cycles=cycles, cfg=default_config(), seed=7,
+    )
+    sweeps[name] = sweep
+    for p in sweep.points:
+        rows.append([
+            name,
+            f"{p.offered_rate:.2f}",
+            f"{p.accepted_rate:.3f}",
+            f"{p.mean_latency:.1f}" if p.stable else "saturated",
+        ])
+    rows.append([name, "-> max stable", f"{sweep.saturation_rate:.3f}", ""])
+
+print(format_table(["algorithm", "offered", "accepted", "mean latency"], rows))
+print()
+print(plot_sweeps(sweeps))
+print("\nExpected shape: DOR saturates at the 1/w cap; DimWAR/OmniWAR reach "
+      "far higher loads at flat latency; source-adaptive UGAL degrades "
+      "earlier/with much higher latency because the Y-dimension congestion "
+      "is not visible at the source router.")

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (environments without the wheel pkg).
+
+All real metadata lives in pyproject.toml; install with
+``pip install -e . --no-use-pep517`` when build isolation is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Measurement harness: load sweeps, saturation search, reporting."""
+
+from .ascii_plot import ascii_plot, plot_sweeps
+from .report import format_table, to_csv, write_csv
+from .theory import (
+    dor_cap_bit_complement,
+    dor_cap_dcr,
+    dor_cap_urb,
+    max_hops,
+    mean_min_hops_uniform,
+    zero_load_latency,
+)
+from .sweep import (
+    PointResult,
+    SweepResult,
+    measure_point,
+    saturation_throughput,
+    sweep_load,
+)
+
+__all__ = [
+    "measure_point",
+    "sweep_load",
+    "saturation_throughput",
+    "PointResult",
+    "SweepResult",
+    "format_table",
+    "to_csv",
+    "write_csv",
+    "ascii_plot",
+    "plot_sweeps",
+    "dor_cap_bit_complement",
+    "dor_cap_urb",
+    "dor_cap_dcr",
+    "mean_min_hops_uniform",
+    "max_hops",
+    "zero_load_latency",
+]

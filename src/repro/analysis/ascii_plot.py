@@ -1,0 +1,76 @@
+"""ASCII line plots for terminal output.
+
+The benchmark harness regenerates the paper's figures as tables; for human
+scanning, an ASCII rendition of the load-latency curves (Figure 6's visual
+form) is often quicker to read.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+MARKS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "offered load",
+    y_label: str = "latency",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from ``MARKS``; a legend maps markers to
+    names.  Points outside the (auto-scaled) range are clamped to the edge.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, pts), mark in zip(series.items(), MARKS * 4):
+        legend.append(f"{mark} = {name}")
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            col = min(width - 1, max(0, col))
+            row = min(height - 1, max(0, row))
+            r = height - 1 - row  # y grows upward
+            grid[r][col] = mark if grid[r][col] == " " else "*"
+
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{y_hi:8.1f} |" if i == 0 else (
+            f"{y_lo:8.1f} |" if i == height - 1 else "         |"
+        )
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"          {x_lo:<10.2f}{x_label:^{max(0, width - 20)}}{x_hi:>10.2f}"
+    )
+    lines.append("          " + "   ".join(legend))
+    lines.append(f"          (y: {y_label})")
+    return "\n".join(lines)
+
+
+def plot_sweeps(sweeps, width: int = 64, height: int = 16) -> str:
+    """Plot a dict of ``name -> SweepResult`` as load-vs-latency curves,
+    using only each sweep's stable points (as the paper's figures do)."""
+    series = {
+        name: [(p.offered_rate, p.mean_latency) for p in sweep.stable_points()]
+        for name, sweep in sweeps.items()
+    }
+    series = {k: v for k, v in series.items() if v}
+    return ascii_plot(series, width=width, height=height)

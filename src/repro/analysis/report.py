@@ -1,0 +1,54 @@
+"""Plain-text reporting: ASCII tables and CSV output.
+
+The benchmark harness has no plotting dependency; every figure is
+regenerated as the table of rows/series the paper plots, printed and
+optionally written as CSV next to the benchmark results.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+    with open(path, "w", newline="") as f:
+        f.write(to_csv(headers, rows))

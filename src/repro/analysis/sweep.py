@@ -1,0 +1,224 @@
+"""Load-latency sweeps and saturation-throughput search (Section 6.1).
+
+The paper's methodology: warm the network up until latency stabilizes, then
+measure; injection continues while measurements complete; a load where latency
+never stabilizes is *saturated* and not plotted.  :func:`measure_point`
+implements one load point of that procedure; :func:`sweep_load` produces a
+Figure-6-style load-vs-latency curve; :func:`saturation_throughput` finds the
+achieved throughput bar of Figure 6g by sweeping at fixed granularity (the
+paper uses 2%) until the first saturated point.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from ..config import SimConfig, default_config
+from ..network.network import Network
+from ..network.simulator import Simulator
+from ..network.stats import LatencyMonitor, PacketStats
+from ..traffic.injection import SyntheticTraffic
+from ..traffic.sizes import SizeDistribution, UniformSize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.base import RoutingAlgorithm
+    from ..topology.base import Topology
+    from ..traffic.base import TrafficPattern
+
+
+@dataclass
+class PointResult:
+    """Measurement of one (algorithm, pattern, offered-load) point."""
+
+    offered_rate: float
+    stable: bool
+    reason: str
+    mean_latency: float
+    p99_latency: float
+    accepted_rate: float  # flits/cycle/terminal delivered in the window
+    mean_hops: float
+    mean_deroutes: float
+    packets_delivered: int
+    cycles: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        status = "stable" if self.stable else f"SATURATED ({self.reason})"
+        return (
+            f"load={self.offered_rate:.2f} accepted={self.accepted_rate:.3f} "
+            f"latency={self.mean_latency:.1f} (p99={self.p99_latency:.1f}) "
+            f"hops={self.mean_hops:.2f} deroutes={self.mean_deroutes:.2f} "
+            f"[{status}]"
+        )
+
+
+@dataclass
+class SweepResult:
+    """A full load-vs-latency curve for one algorithm/pattern pair."""
+
+    algorithm: str
+    pattern: str
+    points: list[PointResult] = field(default_factory=list)
+
+    @property
+    def saturation_rate(self) -> float:
+        """Accepted throughput at the highest stable load (Fig 6g's bars)."""
+        stable = [p for p in self.points if p.stable]
+        return max((p.accepted_rate for p in stable), default=0.0)
+
+    def stable_points(self) -> list[PointResult]:
+        return [p for p in self.points if p.stable]
+
+    # -- serialization (for archiving measured curves) -------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "algorithm": self.algorithm,
+                "pattern": self.pattern,
+                "points": [asdict(p) for p in self.points],
+            },
+            indent=2,
+            allow_nan=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        data = json.loads(text)
+        return cls(
+            algorithm=data["algorithm"],
+            pattern=data["pattern"],
+            points=[PointResult(**p) for p in data["points"]],
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "SweepResult":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def measure_point(
+    topology: "Topology",
+    algorithm: "RoutingAlgorithm",
+    pattern: "TrafficPattern",
+    rate: float,
+    total_cycles: int = 6000,
+    cfg: SimConfig | None = None,
+    size_dist: SizeDistribution | None = None,
+    seed: int = 1,
+    monitor: LatencyMonitor | None = None,
+) -> PointResult:
+    """Simulate one offered-load point and classify it stable/saturated.
+
+    The run lasts ``total_cycles`` with injection on throughout.  Latency is
+    sampled over packets *created* in the middle window [0.3T, 0.7T) (and
+    delivered by the end); accepted throughput counts flits ejected in the
+    second half of the run.
+    """
+    cfg = cfg or default_config()
+    size_dist = size_dist or UniformSize(1, 16)
+    net = Network(topology, algorithm, cfg)
+    sim = Simulator(net)
+    traffic = SyntheticTraffic(net, pattern, rate, size_dist, seed=seed)
+    sim.processes.append(traffic)
+    stats = PacketStats()
+    for t in net.terminals:
+        t.delivery_listeners.append(stats.on_delivery)
+
+    measure_start = int(total_cycles * 0.3)
+    measure_end = int(total_cycles * 0.7)
+    half = total_cycles // 2
+
+    sim.run(half)
+    ejected_at_half = net.total_ejected_flits()
+    sim.run(total_cycles - half)
+
+    span = total_cycles - half
+    accepted = (net.total_ejected_flits() - ejected_at_half) / (
+        span * topology.num_terminals
+    )
+    monitor = monitor or LatencyMonitor()
+    verdict = monitor.verdict(
+        stats,
+        measure_start,
+        measure_end,
+        topology.num_terminals,
+        offered_rate=rate,
+        undelivered_backlog=net.total_backlog_flits(),
+    )
+    mean_lat = verdict.mean_latency
+    if math.isnan(mean_lat):
+        mean_lat = stats.mean_latency(measure_start, measure_end)
+
+    window = [
+        s for s in stats.samples if measure_start <= s.create_cycle < measure_end
+    ]
+    p99 = (
+        sorted(s.latency for s in window)[max(0, int(0.99 * len(window)) - 1)]
+        if window
+        else math.nan
+    )
+    hops = (sum(s.hops for s in window) / len(window)) if window else math.nan
+    der = (sum(s.deroutes for s in window) / len(window)) if window else math.nan
+    return PointResult(
+        offered_rate=rate,
+        stable=verdict.stable,
+        reason=verdict.reason,
+        mean_latency=mean_lat,
+        p99_latency=float(p99),
+        accepted_rate=accepted,
+        mean_hops=hops,
+        mean_deroutes=der,
+        packets_delivered=stats.packets_delivered,
+        cycles=total_cycles,
+    )
+
+
+def sweep_load(
+    topology: "Topology",
+    algorithm: "RoutingAlgorithm",
+    pattern: "TrafficPattern",
+    rates: list[float],
+    stop_after_unstable: bool = True,
+    **kwargs,
+) -> SweepResult:
+    """Measure a list of offered loads in increasing order.
+
+    With ``stop_after_unstable`` (the default, matching the paper's plots
+    that end at saturation) the sweep stops at the first saturated point.
+    """
+    result = SweepResult(algorithm=algorithm.name, pattern=pattern.name)
+    for rate in sorted(rates):
+        point = measure_point(topology, algorithm, pattern, rate, **kwargs)
+        result.points.append(point)
+        if stop_after_unstable and not point.stable:
+            break
+    return result
+
+
+def saturation_throughput(
+    topology: "Topology",
+    algorithm: "RoutingAlgorithm",
+    pattern: "TrafficPattern",
+    granularity: float = 0.02,
+    max_rate: float = 1.0,
+    **kwargs,
+) -> SweepResult:
+    """Sweep offered load at fixed granularity until saturation (Fig 6g).
+
+    The paper simulates with 2% injection-rate granularity; coarser values
+    trade precision for wall-clock time.
+    """
+    if not 0.0 < granularity <= max_rate:
+        raise ValueError("granularity must be in (0, max_rate]")
+    steps = int(max_rate / granularity + 1e-9)
+    rates = [min(max_rate, round(granularity * i, 9)) for i in range(1, steps + 1)]
+    return sweep_load(
+        topology, algorithm, pattern, rates, stop_after_unstable=True, **kwargs
+    )

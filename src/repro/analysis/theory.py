@@ -1,0 +1,122 @@
+"""Closed-form performance bounds used to validate the simulator.
+
+Each function states a property the paper reasons with:
+
+* **DOR capacity caps** — under BC-style complement patterns every terminal
+  of a router funnels through the router's single pair-link in the targeted
+  dimension, capping throughput at ``1/T``; under DCR, dimension-ordered
+  routing funnels a whole X-line (``w*T`` terminals) through one Y-channel,
+  capping it at ``1/(w*T)`` (the paper's 64:1 / 1.56% at 8x8x8xT8);
+* **mean minimal hops** of uniform traffic on HyperX:
+  ``sum_d (w_d - 1) / w_d`` (per dimension, the chance the coordinate
+  differs);
+* **zero-load latency** of the simulated pipeline, which the simulator must
+  match to within a few cycles of stage-boundary slack (tested).
+
+These are *bounds and expectations*, not simulations; tests assert the
+simulator lands where the math says it must.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..topology.hyperx import HyperX
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import SimConfig
+
+
+# ---------------------------------------------------------------------------
+# Capacity caps (flits/cycle/terminal) for dimension-order routing
+# ---------------------------------------------------------------------------
+
+
+def dor_cap_bit_complement(topology: HyperX) -> float:
+    """BC under DOR: the pair link of each unaligned dimension carries all
+    ``T`` terminals of its router."""
+    return 1.0 / topology.terminals_per_router
+
+
+def dor_cap_urb(topology: HyperX, dim: int) -> float:
+    """URB(dim) under DOR: same pair-link argument in the targeted dim.
+
+    Routers whose coordinate is self-complementary (odd width middle) have
+    no crossing, but the complement rows bind first, so the cap holds.
+    """
+    if not 0 <= dim < topology.num_dims:
+        raise ValueError("dimension out of range")
+    return 1.0 / topology.terminals_per_router
+
+
+def dor_cap_dcr(topology: HyperX) -> float:
+    """DCR under DOR: an X-line's ``w*T`` terminals share one Y-channel."""
+    if topology.num_dims != 3:
+        raise ValueError("DCR is defined for 3-D HyperX networks")
+    w = topology.widths[0]
+    return 1.0 / (w * topology.terminals_per_router)
+
+
+def valiant_cap_uniform(topology: HyperX) -> float:
+    """VAL on benign traffic wastes ~half the bandwidth (2x path length)."""
+    mean_min = mean_min_hops_uniform(topology)
+    mean_val = 2 * mean_min  # two DOR phases over random intermediates
+    return min(1.0, mean_min / mean_val) if mean_val else 1.0
+
+
+# ---------------------------------------------------------------------------
+# Path-length expectations
+# ---------------------------------------------------------------------------
+
+
+def mean_min_hops_uniform(topology: HyperX) -> float:
+    """Expected minimal router hops of uniform random traffic.
+
+    Destination router uniform over all routers (including the source's):
+    each dimension is unaligned with probability (w_d - 1) / w_d.
+    """
+    return sum((w - 1) / w for w in topology.widths)
+
+
+def max_hops(topology: HyperX, algorithm_name: str, deroutes: int | None = None) -> int:
+    """Worst-case router-to-router path length per algorithm."""
+    n = topology.num_dims
+    if algorithm_name in ("DOR", "MIN-AD"):
+        return n
+    if algorithm_name in ("VAL", "UGAL"):
+        return 2 * n
+    if algorithm_name in ("UGAL+",):
+        return n + 1  # single-deviation LCA intermediates
+    if algorithm_name == "DimWAR":
+        return 2 * n  # one deroute per dimension
+    if algorithm_name in ("OmniWAR", "OmniWAR-b2b"):
+        m = n if deroutes is None else deroutes
+        return n + m
+    raise ValueError(f"unknown algorithm {algorithm_name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Zero-load latency
+# ---------------------------------------------------------------------------
+
+
+def zero_load_latency(cfg: "SimConfig", hops: int, packet_size: int) -> tuple[int, int]:
+    """(lower, upper) bound on packet latency at zero load.
+
+    Head path: terminal channel, then per router a crossbar traversal, with
+    ``hops`` router-to-router channels between, then the terminal channel
+    out.  The tail trails the head by ``packet_size - 1`` cycles.  The upper
+    bound allows one cycle of stage-boundary slack per traversed unit.
+    """
+    if hops < 0 or packet_size < 1:
+        raise ValueError("need hops >= 0 and packet_size >= 1")
+    r, n = cfg.router, cfg.network
+    head = (
+        n.channel_latency_rt
+        + (hops + 1) * r.xbar_latency
+        + hops * n.channel_latency_rr
+        + n.channel_latency_rt
+    )
+    lower = head + (packet_size - 1)
+    stages = 2 + (hops + 1) * 2  # channels + router input/output boundaries
+    return lower, lower + stages + 2

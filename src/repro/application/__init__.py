@@ -1,0 +1,23 @@
+"""The 27-point stencil application model (Section 6.2, Figures 7 & 8)."""
+
+from .collective import CollectiveSend, DisseminationCollective
+from .engine import MAX_PACKET_FLITS, StencilApplication
+from .placement import LinearPlacement, Placement, RandomPlacement
+from .stencil import Neighbor, StencilDecomposition
+from .trace import MessageTrace, TracedMessage, TraceReplay, record_stencil_trace
+
+__all__ = [
+    "StencilDecomposition",
+    "Neighbor",
+    "DisseminationCollective",
+    "CollectiveSend",
+    "Placement",
+    "LinearPlacement",
+    "RandomPlacement",
+    "StencilApplication",
+    "MAX_PACKET_FLITS",
+    "MessageTrace",
+    "TracedMessage",
+    "TraceReplay",
+    "record_stencil_trace",
+]

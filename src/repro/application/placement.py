@@ -1,0 +1,63 @@
+"""Process-to-terminal placement policies.
+
+The paper's stencil simulations assign processes (stencil sub-cubes) to
+network endpoints with a *random* placement policy (Section 6.2), which is
+what fragmentated multi-tenant HPC systems produce in practice.  Linear
+placement is provided as the contrast case (and for deterministic tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Placement:
+    """Bijection between application ranks and network terminals."""
+
+    name = "placement"
+
+    def __init__(self, num_ranks: int, num_terminals: int):
+        if num_ranks > num_terminals:
+            raise ValueError(
+                f"{num_ranks} ranks cannot be placed on {num_terminals} terminals"
+            )
+        self.num_ranks = num_ranks
+        self.num_terminals = num_terminals
+        self._terminal_of = self._build()
+        self._rank_of = {t: r for r, t in enumerate(self._terminal_of)}
+
+    def _build(self) -> list[int]:
+        raise NotImplementedError
+
+    def terminal_of(self, rank: int) -> int:
+        return self._terminal_of[rank]
+
+    def rank_of(self, terminal: int) -> int | None:
+        return self._rank_of.get(terminal)
+
+    def validate(self) -> None:
+        assert len(set(self._terminal_of)) == self.num_ranks, "placement not injective"
+        assert all(0 <= t < self.num_terminals for t in self._terminal_of)
+
+
+class LinearPlacement(Placement):
+    """Rank r on terminal r."""
+
+    name = "linear"
+
+    def _build(self) -> list[int]:
+        return list(range(self.num_ranks))
+
+
+class RandomPlacement(Placement):
+    """Uniform random injective placement (the paper's policy)."""
+
+    name = "random"
+
+    def __init__(self, num_ranks: int, num_terminals: int, seed: int = 0):
+        self.seed = seed
+        super().__init__(num_ranks, num_terminals)
+
+    def _build(self) -> list[int]:
+        rng = np.random.default_rng(self.seed)
+        return list(map(int, rng.permutation(self.num_terminals)[: self.num_ranks]))

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sweep``     load-latency sweep of one algorithm/pattern (Figure 6 style)
+``stencil``   27-point stencil run per algorithm (Figure 8 style)
+``figure``    regenerate a paper figure/table by name
+``list``      available algorithms, patterns, figures, and scales
+
+Examples::
+
+    python -m repro sweep --algorithm DimWAR --pattern URBy --rates 0.1 0.3 0.5
+    python -m repro stencil --algorithms DOR OmniWAR --mode halo
+    python -m repro figure fig6g --scale smoke
+    python -m repro figure table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import format_table
+from .analysis.sweep import sweep_load
+from .core.registry import PAPER_ALGORITHMS, algorithm_names, make_algorithm
+from .experiments import (
+    fig1_paths,
+    fig2_scalability,
+    fig3_cost,
+    fig4_topologies,
+    fig5_vcusage,
+    fig6_synthetic,
+    fig7_model,
+    fig8_stencil,
+    irregular,
+    table1_comparison,
+    table_area,
+    transient,
+)
+from .experiments.common import SCALES, get_scale
+from .topology.hyperx import HyperX
+
+FIGURES = {
+    "fig1": lambda scale: fig1_paths.render(fig1_paths.run()),
+    "fig2": lambda scale: fig2_scalability.render(fig2_scalability.run()),
+    "fig3": lambda scale: fig3_cost.render(fig3_cost.run()),
+    "fig4": lambda scale: fig4_topologies.render(fig4_topologies.run(scale)),
+    "fig5": lambda scale: fig5_vcusage.render(fig5_vcusage.run()),
+    "fig6g": lambda scale: fig6_synthetic.render_throughput_chart(
+        fig6_synthetic.run_throughput_chart(scale=scale)
+    ),
+    "fig7": lambda scale: fig7_model.run(),
+    "fig8": lambda scale: fig8_stencil.render(fig8_stencil.run(scale=scale)),
+    "table1": lambda scale: table1_comparison.render(table1_comparison.run()),
+    "irregular": lambda scale: irregular.render(irregular.run(scale=scale)),
+    "table_area": lambda scale: table_area.render(table_area.run()),
+    "transient": lambda scale: transient.render(transient.run(scale=scale)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Practical and Efficient Incremental "
+        "Adaptive Routing for HyperX Networks' (SC '19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="load-latency sweep (Figure 6 style)")
+    p.add_argument("--algorithm", default="DimWAR", choices=algorithm_names())
+    p.add_argument("--pattern", default="UR",
+                   choices=["UR", "BC", "URBx", "URBy", "URBz", "S2", "DCR"])
+    p.add_argument("--widths", type=int, nargs="+", default=[3, 3, 3])
+    p.add_argument("--terminals", type=int, default=2)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.1, 0.2, 0.3, 0.4, 0.5])
+    p.add_argument("--cycles", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("stencil", help="27-point stencil run (Figure 8 style)")
+    p.add_argument("--algorithms", nargs="+", default=list(PAPER_ALGORITHMS),
+                   choices=algorithm_names())
+    p.add_argument("--mode", default="full",
+                   choices=["full", "halo", "collective"])
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    p.add_argument("--seed", type=int, default=5)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p.add_argument("name", choices=sorted(FIGURES))
+    p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+
+    sub.add_parser("list", help="list algorithms, patterns, figures, scales")
+    return parser
+
+
+def _cmd_sweep(args) -> str:
+    topo = HyperX(tuple(args.widths), args.terminals)
+    algo = make_algorithm(args.algorithm, topo)
+    from .traffic import patterns as P
+
+    builders = {
+        "UR": lambda: P.UniformRandom(topo.num_terminals),
+        "BC": lambda: P.BitComplement(topo.num_terminals),
+        "URBx": lambda: P.UniformRandomBisection(topo, 0),
+        "URBy": lambda: P.UniformRandomBisection(topo, 1),
+        "URBz": lambda: P.UniformRandomBisection(topo, 2),
+        "S2": lambda: P.Swap2(topo),
+        "DCR": lambda: P.DimensionComplementReverse(topo),
+    }
+    pattern = builders[args.pattern]()
+    sweep = sweep_load(
+        topo, algo, pattern, args.rates, total_cycles=args.cycles, seed=args.seed
+    )
+    rows = [
+        [
+            f"{p.offered_rate:.2f}",
+            f"{p.accepted_rate:.3f}",
+            f"{p.mean_latency:.1f}" if p.stable else "saturated",
+            f"{p.mean_hops:.2f}",
+            f"{p.mean_deroutes:.3f}",
+        ]
+        for p in sweep.points
+    ]
+    return format_table(
+        ["offered", "accepted", "latency", "hops", "deroutes"],
+        rows,
+        title=f"{args.algorithm} on {args.pattern}, HyperX {tuple(args.widths)} "
+        f"T={args.terminals} (max stable: {sweep.saturation_rate:.3f})",
+    )
+
+
+def _cmd_stencil(args) -> str:
+    result = fig8_stencil.run(
+        algorithms=tuple(args.algorithms),
+        modes=(args.mode,),
+        iteration_counts=(args.iterations,),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    return fig8_stencil.render(result, algorithms=tuple(args.algorithms))
+
+
+def _cmd_list() -> str:
+    lines = [
+        "algorithms : " + ", ".join(algorithm_names()),
+        "patterns   : UR, BC, URBx, URBy, URBz, S2, DCR",
+        "figures    : " + ", ".join(sorted(FIGURES)),
+        "scales     : " + ", ".join(sorted(SCALES)),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command == "stencil":
+        print(_cmd_stencil(args))
+    elif args.command == "figure":
+        print(FIGURES[args.name](get_scale(args.scale)))
+    elif args.command == "list":
+        print(_cmd_list())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

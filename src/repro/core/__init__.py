@@ -1,0 +1,36 @@
+"""Routing algorithms: the paper's DimWAR and OmniWAR plus all baselines."""
+
+from .base import RouteCandidate, RouteContext, RoutingAlgorithm
+from .closad import ClosAD
+from .dimwar import DimWAR
+from .dor import DimensionOrderRouting
+from .minad import MinAdaptive
+from .omniwar import OmniWAR
+from .registry import PAPER_ALGORITHMS, algorithm_names, make_algorithm, table1_rows
+from .tables import TableRouting, compile_tables, full_table_geometry, optimized_table_geometry
+from .torus_routing import MeshDOR, TorusDOR
+from .ugal import Ugal
+from .valiant import Valiant
+
+__all__ = [
+    "RoutingAlgorithm",
+    "RouteContext",
+    "RouteCandidate",
+    "DimensionOrderRouting",
+    "Valiant",
+    "Ugal",
+    "ClosAD",
+    "MinAdaptive",
+    "DimWAR",
+    "OmniWAR",
+    "make_algorithm",
+    "algorithm_names",
+    "table1_rows",
+    "PAPER_ALGORITHMS",
+    "TableRouting",
+    "compile_tables",
+    "full_table_geometry",
+    "optimized_table_geometry",
+    "MeshDOR",
+    "TorusDOR",
+]

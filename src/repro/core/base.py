@@ -1,0 +1,134 @@
+"""Routing-algorithm interface.
+
+Every routing algorithm — the paper's DimWAR and OmniWAR as well as the
+DOR/VAL/UGAL/Clos-AD baselines — implements :class:`RoutingAlgorithm`.  At
+each router, the algorithm is handed a :class:`RouteContext` describing the
+packet at the head of an input VC and returns the set of *valid*
+:class:`RouteCandidate` s (output port + resource class + remaining-hop
+estimate).  The router then scores each candidate with the paper's weight
+function ``weight = congestion x hopcount`` using locally observable state
+(credits consumed downstream plus output-queue occupancy) and dispatches the
+packet on the minimum-weight feasible candidate.
+
+Resource classes are *virtual* VC indices; :class:`repro.core.vcmap.VcMap`
+spreads them over the physically available VCs so that algorithms needing
+fewer classes than the router has VCs use the spares for head-of-line-blocking
+reduction — exactly the paper's evaluation methodology (footnote 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.types import Packet
+    from ..topology.base import Topology
+
+
+class RouterView(Protocol):
+    """The slice of router state a routing algorithm may observe.
+
+    Everything here is *local* to the router — the paper's point is that both
+    source-adaptive and incremental algorithms only ever see local congestion;
+    they differ in *where along the path* they get to look.
+    """
+
+    router_id: int
+
+    def class_congestion(self, out_port: int, vc_class: int) -> float:
+        """Congestion estimate for (output port, resource class)."""
+        ...
+
+    def port_congestion(self, out_port: int) -> float:
+        """Congestion estimate for an output port across all VCs."""
+        ...
+
+
+@dataclass(frozen=True)
+class RouteCandidate:
+    """One routing option offered by an algorithm at one router.
+
+    ``hops`` is the estimated number of router-to-router hops remaining on
+    the path *including* the candidate hop itself; multiplied by the local
+    congestion estimate it forms the paper's route weight.
+    """
+
+    out_port: int
+    vc_class: int
+    hops: int
+    deroute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ValueError("a candidate always includes at least its own hop")
+
+
+@dataclass
+class RouteContext:
+    """Everything an algorithm may use to route one packet at one router."""
+
+    router: "RouterView"
+    packet: "Packet"
+    input_port: int
+    input_vc_class: int  # resource class of the VC the packet arrived on
+    from_terminal: bool  # True at the packet's source router
+
+
+class RoutingAlgorithm:
+    """Base class for routing algorithms.
+
+    Subclasses set :attr:`num_classes` (resource classes required for deadlock
+    freedom) and implement :meth:`candidates`.  ``commit`` is invoked exactly
+    once per hop, when the router actually dispatches the packet on a chosen
+    candidate — algorithms that carry state in the packet update it there.
+    """
+
+    #: short name used in tables and the registry
+    name: str = "base"
+    #: resource classes required (the "VCs Required" column of Table 1)
+    num_classes: int = 1
+    #: True for incremental algorithms (adaptive decision at every hop)
+    incremental: bool = False
+    #: True when the algorithm traverses dimensions in a fixed order
+    dimension_ordered: bool = True
+    #: deadlock-avoidance mechanisms used (Table 1 "Deadlock Handling")
+    deadlock_handling: str = "restricted routes"
+    #: per-packet state the algorithm stores (Table 1 "Packet Contents")
+    packet_contents: str = "none"
+    #: special router architecture requirements (Table 1)
+    architecture_requirements: str = "none"
+
+    def __init__(self, topology: "Topology"):
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+
+    def injection_classes(self, packet: "Packet") -> Sequence[int]:
+        """Resource classes a terminal may inject this packet on."""
+        return (0,)
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        """Valid routing options for the packet at this router.
+
+        Must be non-empty whenever the packet is not at its destination
+        router; the router guarantees ``ctx`` is only built in that case.
+        """
+        raise NotImplementedError
+
+    def commit(self, ctx: RouteContext, chosen: RouteCandidate) -> None:
+        """Called once when the router dispatches the packet on ``chosen``."""
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        """Table-1 style metadata row."""
+        return {
+            "name": self.name,
+            "dimension_ordered": self.dimension_ordered,
+            "routing_style": "incremental" if self.incremental else "source",
+            "vcs_required": self.num_classes,
+            "deadlock_handling": self.deadlock_handling,
+            "architecture_requirements": self.architecture_requirements,
+            "packet_contents": self.packet_contents,
+        }

@@ -1,0 +1,113 @@
+"""Clos-AD / UGAL+ — UGAL optimized for flat fully connected dimensions
+(Kim et al., Flattened Butterfly, ISCA '07).
+
+Still *source-adaptive*, but with the paper's first two optimizations
+(Section 4.1):
+
+1. intermediate routers are restricted to the least-common-ancestor set —
+   they may differ from the source only in dimensions that are *unaligned*
+   with the destination, so a packet never routes away from an already
+   aligned dimension;
+2. the source router weighs **every** unaligned output port (not one random
+   Valiant sample): the aligning port of each unaligned dimension as a
+   minimal option, every other port of those dimensions as a +1-hop
+   non-minimal option through the corresponding single-deviation
+   intermediate.
+
+The third optimization — the sequential allocator — is architecturally
+infeasible in high-radix routers (Section 4.1) and, as in the paper's own
+evaluation, is **not** modelled.
+
+The figures of the paper label this algorithm ``UGAL+``.
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class ClosAD(HyperXRouting):
+    name = "UGAL+"
+    num_classes = 2
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes & resource classes"
+    packet_contents = "int. addr."
+    architecture_requirements = "seq. alloc. (omitted, as in the paper)"
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        state = ctx.packet.routing_state
+        mode = state.get("closad_mode")
+        if mode is None:
+            return self._source_decision(ctx)
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        if mode == "val":
+            inter = state["closad_int"]
+            if not state.get("closad_phase2") and here == inter:
+                state["closad_phase2"] = True
+            if not state.get("closad_phase2"):
+                hop = self.dor_port(ctx.router.router_id, here, inter)
+                assert hop is not None
+                hops = self.hx.min_hops(
+                    ctx.router.router_id, self.hx.router_id(inter)
+                ) + self.hx.min_hops(
+                    self.hx.router_id(inter), self.dest_router(ctx.packet)
+                )
+                return [RouteCandidate(out_port=hop[0], vc_class=0, hops=hops)]
+        hop = self.dor_port(ctx.router.router_id, here, dest)
+        assert hop is not None
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        return [RouteCandidate(out_port=hop[0], vc_class=1, hops=remaining)]
+
+    def _source_decision(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        rid = ctx.router.router_id
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        first = self.first_unaligned_dim(here, dest)
+        cands: list[RouteCandidate] = []
+        proposals: dict[int, tuple[int, ...]] = {}
+        for d in range(self.hx.num_dims):
+            if here[d] == dest[d]:
+                continue  # aligned: LCA restriction forbids leaving it
+            for c in range(self.hx.widths[d]):
+                if c == here[d]:
+                    continue
+                port = self.hx.dim_port(rid, d, c)
+                if d == first and c == dest[d]:
+                    # The DOR-minimal path; class 1 keeps class-1 channels
+                    # strictly dimension ordered (deadlock freedom).
+                    cands.append(
+                        RouteCandidate(out_port=port, vc_class=1, hops=remaining)
+                    )
+                    continue
+                # Any other unaligned-dimension port routes via the single-
+                # deviation intermediate on class 0.  Ports that align a later
+                # dimension (c == dest[d], d != first) cost no extra hops;
+                # true deroutes cost one.
+                inter = list(here)
+                inter[d] = c
+                extra = 0 if c == dest[d] else 1
+                cand = RouteCandidate(
+                    out_port=port,
+                    vc_class=0,
+                    hops=remaining + extra,
+                    deroute=extra == 1,
+                )
+                proposals[id(cand)] = tuple(inter)
+                cands.append(cand)
+        ctx.packet.routing_state["_closad_proposals"] = proposals
+        return cands
+
+    def commit(self, ctx: RouteContext, chosen: RouteCandidate) -> None:
+        state = ctx.packet.routing_state
+        if state.get("closad_mode") is not None:
+            return
+        proposals = state.pop("_closad_proposals", {})
+        if chosen.vc_class == 1:
+            state["closad_mode"] = "min"
+        else:
+            state["closad_mode"] = "val"
+            state["closad_int"] = proposals[id(chosen)]

@@ -1,0 +1,64 @@
+"""DimWAR — Dimensionally-ordered Weighted Adaptive Routing (Section 5.1).
+
+The paper's light-weight incremental algorithm.  The packet traverses
+dimensions strictly in order; within the *current* dimension (the first
+unaligned one) it may take either
+
+* the **minimal** aligning hop, on resource class 0, or
+* one **deroute** — a lateral hop to any other coordinate of the current
+  dimension — on resource class 1, permitted only when the packet is
+  currently on class 0 (i.e. its previous hop was not a deroute).
+
+After a deroute the packet is on class 1, so its only valid move is the
+minimal hop (class 0), which aligns the dimension: *at most one deroute per
+dimension*, and the path grows by at most one hop per dimension — the
+paper's definition of fine-grained incremental adaptive routing.
+
+Deadlock freedom (Section 5.1): order the resource classes of dimension ``d``
+as ``(d, class 1) < (d, class 0) < (d+1, class 1) < ...``.  Every hop moves
+strictly upward in that order — a deroute (class 1) in ``d`` is followed only
+by the class-0 minimal hop in ``d``, and class-0 hops are followed only by
+hops in higher dimensions — so the channel-dependency graph is acyclic with
+just **2 VCs regardless of dimensionality**, the algorithm's headline
+practicality property.  All routing state is carried by the VC index alone:
+no fields are added to the packet.
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class DimWAR(HyperXRouting):
+    name = "DimWAR"
+    num_classes = 2
+    incremental = True
+    dimension_ordered = True
+    deadlock_handling = "restricted routes & resource classes"
+    packet_contents = "none"
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        rid = ctx.router.router_id
+        dim = self.first_unaligned_dim(here, dest)
+        assert dim is not None, "router never routes packets already at destination"
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        on_min_class = ctx.from_terminal or ctx.input_vc_class == 0
+
+        cands = [
+            RouteCandidate(
+                out_port=self.min_port(rid, dim, dest[dim]),
+                vc_class=0,
+                hops=remaining,
+            )
+        ]
+        if on_min_class:
+            for port in self.deroute_ports(rid, dim, here[dim], dest[dim]):
+                cands.append(
+                    RouteCandidate(
+                        out_port=port, vc_class=1, hops=remaining + 1, deroute=True
+                    )
+                )
+        return cands

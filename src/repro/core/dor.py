@@ -1,0 +1,34 @@
+"""Dimension Order Routing (DOR) — Dally & Seitz's torus routing chip scheme.
+
+Deterministic minimal routing: resolve dimensions in a fixed order, one
+aligning hop per dimension.  On HyperX each dimension needs a single hop, and
+the fixed dimension order makes the channel-dependency graph acyclic, so a
+single resource class suffices (restricted routes).
+
+DOR is the deterministic baseline of the paper's evaluation (Table 2); it
+achieves full throughput only on perfectly load-balanced traffic and collapses
+to ``1/(w*T)`` throughput on DCR (Figure 6f).
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class DimensionOrderRouting(HyperXRouting):
+    name = "DOR"
+    num_classes = 1
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes"
+    packet_contents = "none"
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        hop = self.dor_port(ctx.router.router_id, here, dest)
+        assert hop is not None, "router never routes packets already at destination"
+        port, _ = hop
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        return [RouteCandidate(out_port=port, vc_class=0, hops=remaining)]

@@ -1,0 +1,223 @@
+"""Routing algorithms for the Dragonfly baseline (used by Figure 4).
+
+* :class:`DragonflyMinimal` — the canonical local-global-local minimal route.
+* :class:`DragonflyValiant` — Valiant over a random intermediate *group*.
+* :class:`DragonflyUgal` — UGAL-L: at the source router, weigh the minimal
+  path against one random Valiant path using first-hop congestion x hops.
+
+Deadlock avoidance uses distance classes (VC = hop index).  A minimal path
+has <= 3 hops and a Valiant path <= 6, so UGAL needs 6 classes; the paper's
+8-VC routers leave 2 spares that the VC map spreads over the early classes.
+This is more VCs than the hand-crafted 2/3-class Dragonfly schemes, but it is
+simple, provably safe, and — per the paper's own methodology (footnote 4) —
+every algorithm gets all 8 VCs anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.dragonfly import Dragonfly
+from .base import RouteCandidate, RouteContext, RoutingAlgorithm
+
+
+class _DragonflyBase(RoutingAlgorithm):
+    def __init__(self, topology: Dragonfly):
+        if not isinstance(topology, Dragonfly):
+            raise TypeError(f"{type(self).__name__} requires a Dragonfly topology")
+        super().__init__(topology)
+        self.df: Dragonfly = topology
+
+    def dest_router(self, packet) -> int:
+        return packet.dst_terminal // self.df.p
+
+    def _next_min_hop(self, router: int, dst_router: int) -> tuple[int, int]:
+        """(port, remaining hops incl. this one) of the next minimal hop."""
+        df = self.df
+        gs, gd = df.group_of(router), df.group_of(dst_router)
+        if gs == gd:
+            return df.local_port(router, df.local_of(dst_router)), 1
+        gw, k = df.gateway_router(gs, gd)
+        if router == gw:
+            port = df.global_port(router, k)
+            gw_dst, _ = df.gateway_router(gd, gs)
+            return port, 1 + (1 if gw_dst != dst_router else 0)
+        return (
+            df.local_port(router, df.local_of(gw)),
+            df.min_hops(router, dst_router),
+        )
+
+
+class DragonflyMinimal(_DragonflyBase):
+    """Minimal (l-g-l) routing; <= 3 hops, 3 distance classes."""
+
+    name = "DF-MIN"
+    num_classes = 3
+    incremental = False
+    deadlock_handling = "distance classes"
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        port, hops = self._next_min_hop(
+            ctx.router.router_id, self.dest_router(ctx.packet)
+        )
+        return [RouteCandidate(out_port=port, vc_class=klass, hops=hops)]
+
+
+class DragonflyValiant(_DragonflyBase):
+    """Valiant over a random intermediate group; <= 6 hops, 6 classes."""
+
+    name = "DF-VAL"
+    num_classes = 6
+    incremental = False
+    deadlock_handling = "distance classes"
+    packet_contents = "int. addr."
+
+    def __init__(self, topology: Dragonfly, seed: int = 13):
+        super().__init__(topology)
+        self.rng = np.random.default_rng(seed)
+
+    def _intermediate_router(self, ctx: RouteContext) -> int:
+        state = ctx.packet.routing_state
+        inter = state.get("df_int")
+        if inter is None:
+            df = self.df
+            src_g = df.group_of(ctx.router.router_id)
+            dst_g = df.group_of(self.dest_router(ctx.packet))
+            choices = [g for g in range(df.g) if g not in (src_g, dst_g)]
+            grp = int(choices[int(self.rng.integers(len(choices)))])
+            inter = df.router_id(grp, int(self.rng.integers(df.a)))
+            state["df_int"] = inter
+        return inter
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        rid = ctx.router.router_id
+        dst = self.dest_router(ctx.packet)
+        state = ctx.packet.routing_state
+        inter = self._intermediate_router(ctx)
+        if not state.get("df_phase2"):
+            df = self.df
+            if rid == inter or df.group_of(rid) == df.group_of(inter):
+                # reaching the intermediate group suffices (group-level Valiant)
+                state["df_phase2"] = True
+        if not state.get("df_phase2"):
+            port, _ = self._next_min_hop(rid, inter)
+            hops = self.df.min_hops(rid, inter) + self.df.min_hops(inter, dst)
+            return [RouteCandidate(out_port=port, vc_class=klass, hops=max(1, hops))]
+        port, hops = self._next_min_hop(rid, dst)
+        return [RouteCandidate(out_port=port, vc_class=klass, hops=hops)]
+
+
+class DragonflyUgal(_DragonflyBase):
+    """UGAL-L: source decision between minimal and one Valiant candidate."""
+
+    name = "DF-UGAL"
+    num_classes = 6
+    incremental = False
+    deadlock_handling = "distance classes"
+    packet_contents = "int. addr."
+
+    def __init__(self, topology: Dragonfly, seed: int = 17):
+        super().__init__(topology)
+        self.rng = np.random.default_rng(seed)
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        rid = ctx.router.router_id
+        dst = self.dest_router(ctx.packet)
+        state = ctx.packet.routing_state
+        mode = state.get("df_mode")
+        if mode is None:
+            return self._source_decision(ctx, rid, dst, klass)
+        if mode == "val" and not state.get("df_phase2"):
+            df = self.df
+            inter = state["df_int"]
+            if rid == inter or df.group_of(rid) == df.group_of(inter):
+                state["df_phase2"] = True
+            else:
+                port, _ = self._next_min_hop(rid, inter)
+                hops = df.min_hops(rid, inter) + df.min_hops(inter, dst)
+                return [
+                    RouteCandidate(out_port=port, vc_class=klass, hops=max(1, hops))
+                ]
+        port, hops = self._next_min_hop(rid, dst)
+        return [RouteCandidate(out_port=port, vc_class=klass, hops=hops)]
+
+    def _source_decision(self, ctx, rid, dst, klass) -> list[RouteCandidate]:
+        df = self.df
+        min_port, _ = self._next_min_hop(rid, dst)
+        cands = [
+            RouteCandidate(
+                out_port=min_port, vc_class=klass, hops=df.min_hops(rid, dst)
+            )
+        ]
+        src_g, dst_g = df.group_of(rid), df.group_of(dst)
+        choices = [g for g in range(df.g) if g not in (src_g, dst_g)]
+        proposals = {}
+        if choices:
+            grp = int(choices[int(self.rng.integers(len(choices)))])
+            inter = df.router_id(grp, int(self.rng.integers(df.a)))
+            port, _ = self._next_min_hop(rid, inter)
+            hops = df.min_hops(rid, inter) + df.min_hops(inter, dst)
+            cand = RouteCandidate(
+                out_port=port, vc_class=klass, hops=max(1, hops), deroute=True
+            )
+            proposals[id(cand)] = inter
+            cands.append(cand)
+        ctx.packet.routing_state["_df_proposals"] = proposals
+        return cands
+
+    def commit(self, ctx: RouteContext, chosen: RouteCandidate) -> None:
+        state = ctx.packet.routing_state
+        if state.get("df_mode") is not None:
+            return
+        proposals = state.pop("_df_proposals", {})
+        if chosen.deroute:
+            state["df_mode"] = "val"
+            state["df_int"] = proposals[id(chosen)]
+        else:
+            state["df_mode"] = "min"
+
+
+class DragonflyPar(DragonflyUgal):
+    """Progressive Adaptive Routing (Jiang/Kim/Dally, ISCA '09; Section 2.2).
+
+    UGAL whose *minimal* decision stays revocable while the packet remains
+    inside its source group: every source-group router re-evaluates minimal
+    vs Valiant with its own local congestion, catching congestion the source
+    router could not see.  Once the packet leaves the source group (or
+    commits to Valiant) the decision is final.  The revisit can add local
+    hops, so the worst path is l,l,g,l,l,g,l — 7 distance classes.
+    """
+
+    name = "DF-PAR"
+    num_classes = 7
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        rid = ctx.router.router_id
+        dst = self.dest_router(ctx.packet)
+        state = ctx.packet.routing_state
+        if ctx.from_terminal:
+            state["df_src_group"] = self.df.group_of(rid)
+        mode = state.get("df_mode")
+        revocable = (
+            mode == "min"
+            and self.df.group_of(rid) == state.get("df_src_group")
+            and self.df.group_of(rid) != self.df.group_of(dst)
+        )
+        if mode is None or revocable:
+            return self._source_decision(ctx, rid, dst, klass)
+        return super().candidates(ctx)
+
+    def commit(self, ctx: RouteContext, chosen: RouteCandidate) -> None:
+        state = ctx.packet.routing_state
+        proposals = state.pop("_df_proposals", None)
+        if proposals is None:
+            return  # not a (re-)decision hop
+        if chosen.deroute:
+            state["df_mode"] = "val"
+            state["df_int"] = proposals[id(chosen)]
+        else:
+            state["df_mode"] = "min"  # provisional while in the source group

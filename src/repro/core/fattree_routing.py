@@ -1,0 +1,87 @@
+"""Adaptive up/down routing for the fat tree (Figure 4 baseline).
+
+The canonical fat-tree scheme: while the current switch does not cover the
+destination terminal, go **up** — adaptively, choosing the least-congested
+up-port (every up-port reaches a valid common ancestor, which is the fat
+tree's path diversity); once the destination is covered, the **down** path is
+forced (one digit per level).
+
+Up/down routing is inherently deadlock free (the up-phase/down-phase channel
+dependencies form a DAG through the tree levels), so a single resource class
+suffices; the paper's 8 VCs all become head-of-line-blocking spares.
+"""
+
+from __future__ import annotations
+
+from ..topology.fattree import FatTree
+from .base import RouteCandidate, RouteContext, RoutingAlgorithm
+
+
+class FatTreeAdaptive(RoutingAlgorithm):
+    name = "FT-AD"
+    num_classes = 1
+    incremental = True
+    dimension_ordered = False
+    deadlock_handling = "restricted routes (up*/down*)"
+    packet_contents = "none"
+
+    def __init__(self, topology: FatTree):
+        if not isinstance(topology, FatTree):
+            raise TypeError("FatTreeAdaptive requires a FatTree topology")
+        super().__init__(topology)
+        self.ft: FatTree = topology
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        ft = self.ft
+        rid = ctx.router.router_id
+        dst = ctx.packet.dst_terminal
+        level, _ = ft.level_word(rid)
+        if ft.covers(rid, dst):
+            # forced down path: `level` more hops to the leaf, then eject
+            port = ft.down_port(ft.down_digit(rid, dst))
+            return [RouteCandidate(out_port=port, vc_class=0, hops=max(1, level))]
+        nca = ft.nca_level(ctx.packet.src_terminal, dst)
+        nca = max(nca, level + 1)
+        hops = (nca - level) + nca  # up to the NCA, then down to the leaf
+        return [
+            RouteCandidate(out_port=ft.up_port(rid, j), vc_class=0, hops=hops)
+            for j in range(ft.k)
+        ]
+
+
+class FatTreeDeterministic(RoutingAlgorithm):
+    """D-mod-k-style deterministic up/down routing (contrast baseline).
+
+    The up-port at each level is the corresponding digit of the destination
+    terminal, giving a fixed path per (src, dst) pair — the classic static
+    fat-tree routing that load-balances uniform traffic but cannot adapt.
+    """
+
+    name = "FT-DET"
+    num_classes = 1
+    incremental = False
+    dimension_ordered = False
+    deadlock_handling = "restricted routes (up*/down*)"
+    packet_contents = "none"
+
+    def __init__(self, topology: FatTree):
+        if not isinstance(topology, FatTree):
+            raise TypeError("FatTreeDeterministic requires a FatTree topology")
+        super().__init__(topology)
+        self.ft: FatTree = topology
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        ft = self.ft
+        rid = ctx.router.router_id
+        dst = ctx.packet.dst_terminal
+        level, _ = ft.level_word(rid)
+        if ft.covers(rid, dst):
+            port = ft.down_port(ft.down_digit(rid, dst))
+            return [RouteCandidate(out_port=port, vc_class=0, hops=max(1, level))]
+        nca = max(ft.nca_level(ctx.packet.src_terminal, dst), level + 1)
+        hops = (nca - level) + nca
+        # D-mod-k flavour: the up-port at level l is the destination's leaf
+        # digit at position l, giving a fixed, dest-spread path per pair.
+        # (A 1-level tree always covers, so this branch implies n >= 2.)
+        digit = ft._digits(dst // ft._leaf_down, ft.n - 1)[min(level, ft.n - 2)]
+        return [RouteCandidate(out_port=ft.up_port(rid, digit), vc_class=0, hops=hops)]

@@ -1,0 +1,80 @@
+"""Shared machinery for HyperX routing algorithms.
+
+All HyperX algorithms need the same geometric primitives: the coordinates of
+the current and destination routers, the set of unaligned dimensions, the
+minimal port in a dimension, and the deroute ports (lateral moves within an
+unaligned dimension that neither approach nor leave the destination —
+Section 4.2's definition of a deroute).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..topology.hyperx import HyperX
+from .base import RouteContext, RoutingAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.types import Packet
+
+
+class HyperXRouting(RoutingAlgorithm):
+    """Base class for routing algorithms on HyperX topologies."""
+
+    def __init__(self, topology: HyperX):
+        if not isinstance(topology, HyperX):
+            raise TypeError(f"{type(self).__name__} requires a HyperX topology")
+        super().__init__(topology)
+        self.hx: HyperX = topology
+
+    # -- geometry ------------------------------------------------------
+
+    def here(self, ctx: RouteContext) -> tuple[int, ...]:
+        return self.hx.coords(ctx.router.router_id)
+
+    def dest_router(self, packet: "Packet") -> int:
+        return packet.dst_terminal // self.hx.terminals_per_router
+
+    def dest_coords(self, packet: "Packet") -> tuple[int, ...]:
+        return self.hx.coords(self.dest_router(packet))
+
+    def unaligned(self, here: tuple[int, ...], dest: tuple[int, ...]) -> list[int]:
+        return [d for d in range(self.hx.num_dims) if here[d] != dest[d]]
+
+    def min_port(self, router_id: int, dim: int, dest_coord: int) -> int:
+        """Port taking the single aligning hop in ``dim``."""
+        return self.hx.dim_port(router_id, dim, dest_coord)
+
+    def deroute_ports(
+        self, router_id: int, dim: int, here_coord: int, dest_coord: int
+    ) -> list[int]:
+        """Ports for lateral (deroute) moves within an unaligned ``dim``.
+
+        Excludes the current coordinate (no self loop) and the destination
+        coordinate (that hop would be minimal, not a deroute).
+        """
+        w = self.hx.widths[dim]
+        return [
+            self.hx.dim_port(router_id, dim, c)
+            for c in range(w)
+            if c != here_coord and c != dest_coord
+        ]
+
+    # -- DOR helpers ----------------------------------------------------
+
+    def first_unaligned_dim(
+        self, here: tuple[int, ...], dest: tuple[int, ...]
+    ) -> int | None:
+        for d in range(self.hx.num_dims):
+            if here[d] != dest[d]:
+                return d
+        return None
+
+    def dor_port(
+        self, router_id: int, here: tuple[int, ...], dest: tuple[int, ...]
+    ) -> tuple[int, int] | None:
+        """(port, dim) of the next dimension-order hop toward ``dest``."""
+        d = self.first_unaligned_dim(here, dest)
+        if d is None:
+            return None
+        return self.hx.dim_port(router_id, d, dest[d]), d

@@ -1,0 +1,47 @@
+"""MIN-AD — minimal adaptive routing.
+
+At every hop, pick the least-congested aligning hop of *any* unaligned
+dimension (incremental, minimal only).  Traversing dimensions in arbitrary
+order creates cyclic channel dependencies on HyperX, so MIN-AD uses distance
+classes — the VC index increments on every hop — needing N classes for an
+N-dimensional network.  This is also exactly OmniWAR with a deroute budget of
+zero, and the "underlying minimal algorithm" the paper credits for OmniWAR's
+slight edge on uniform-random traffic (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class MinAdaptive(HyperXRouting):
+    name = "MIN-AD"
+    incremental = True
+    dimension_ordered = False
+    deadlock_handling = "distance classes"
+    packet_contents = "none"
+
+    def __init__(self, topology):
+        super().__init__(topology)
+        self.num_classes = topology.num_dims
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        rid = ctx.router.router_id
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        assert klass + remaining <= self.num_classes, (
+            "distance-class invariant violated: packet cannot reach its "
+            "destination within the remaining classes"
+        )
+        return [
+            RouteCandidate(
+                out_port=self.min_port(rid, d, dest[d]),
+                vc_class=klass,
+                hops=remaining,
+            )
+            for d in range(self.hx.num_dims)
+            if here[d] != dest[d]
+        ]

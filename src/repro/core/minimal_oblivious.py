@@ -1,0 +1,122 @@
+"""Minimal *oblivious* routing baselines from Section 2.2: ROMM and an
+O1Turn generalization.
+
+The paper's background cites them as evidence that "all minimal routing
+algorithms, including O1Turn and ROMM, have significant throughput
+deficiencies when traffic is not uniformly distributed ... on the topology
+evaluated in this paper all minimal algorithms achieve 4x less worst case
+throughput compared to non-minimal algorithms."  Implementing them lets the
+benchmark suite *measure* that claim (see
+``benchmarks/test_minimal_vs_nonminimal.py``).
+
+* **ROMM** (Nesson & Johnsson): route DOR to a random intermediate *inside
+  the minimal sub-lattice* (each intermediate coordinate is either the
+  source's or the destination's), then DOR to the destination.  Paths stay
+  minimal; two resource classes as for VAL.
+* **O1Turn generalized** (Seo et al. routed 2-D meshes via XY or YX chosen
+  per packet): each packet draws a random *dimension order* and resolves
+  dimensions minimally in that order.  Fixed-per-packet orders over N
+  dimensions need distance classes (N VCs) for deadlock freedom on HyperX.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class Romm(HyperXRouting):
+    """ROMM: two-phase DOR through a random minimal-quadrant intermediate."""
+
+    name = "ROMM"
+    num_classes = 2
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes & resource classes"
+    packet_contents = "int. addr."
+
+    def __init__(self, topology, seed: int = 23):
+        super().__init__(topology)
+        self.rng = np.random.default_rng(seed)
+
+    def _intermediate(self, ctx: RouteContext) -> tuple[int, ...]:
+        state = ctx.packet.routing_state
+        inter = state.get("romm_int")
+        if inter is None:
+            here = self.here(ctx)
+            dest = self.dest_coords(ctx.packet)
+            inter = tuple(
+                d if self.rng.random() < 0.5 else h
+                for h, d in zip(here, dest)
+            )
+            state["romm_int"] = inter
+        return inter
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        inter = self._intermediate(ctx)
+        state = ctx.packet.routing_state
+        if not state.get("romm_phase2") and here == inter:
+            state["romm_phase2"] = True
+        rid = ctx.router.router_id
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        if not state.get("romm_phase2"):
+            hop = self.dor_port(rid, here, inter)
+            if hop is None:
+                state["romm_phase2"] = True
+            else:
+                # intermediate lies on a minimal path: total hops == minimal
+                return [RouteCandidate(out_port=hop[0], vc_class=0, hops=remaining)]
+        hop = self.dor_port(rid, here, dest)
+        assert hop is not None
+        return [RouteCandidate(out_port=hop[0], vc_class=1, hops=remaining)]
+
+
+class RandomDimOrder(HyperXRouting):
+    """O1Turn generalized: per-packet random dimension order, minimal.
+
+    The packet's dimension order is drawn once; at each hop the first
+    unaligned dimension *in that order* is resolved.  Mixing N! orders
+    across packets balances load like O1Turn's XY/YX mixing does in 2-D.
+    Distance classes (VC = hop index) give deadlock freedom for any order.
+    """
+
+    name = "O1Turn"
+    incremental = False
+    dimension_ordered = False
+    deadlock_handling = "distance classes"
+    packet_contents = "dim. order"
+
+    def __init__(self, topology, seed: int = 29):
+        super().__init__(topology)
+        self.num_classes = topology.num_dims
+        self.rng = np.random.default_rng(seed)
+
+    def _order(self, ctx: RouteContext) -> tuple[int, ...]:
+        state = ctx.packet.routing_state
+        order = state.get("o1_order")
+        if order is None:
+            order = tuple(int(d) for d in self.rng.permutation(self.hx.num_dims))
+            state["o1_order"] = order
+        return order
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        order = self._order(ctx)
+        rid = ctx.router.router_id
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        for d in order:
+            if here[d] != dest[d]:
+                return [
+                    RouteCandidate(
+                        out_port=self.min_port(rid, d, dest[d]),
+                        vc_class=klass,
+                        hops=remaining,
+                    )
+                ]
+        raise AssertionError("never called at the destination router")

@@ -1,0 +1,90 @@
+"""OmniWAR — Omni-dimensional Weighted Adaptive Routing (Section 5.2).
+
+The paper's heavy-weight incremental algorithm.  At every hop the packet may
+move in **any unaligned dimension** — minimally (the aligning hop) or as a
+deroute (any other coordinate of an unaligned dimension) — so dimensions need
+not be resolved in order or completely before touching another.
+
+Deadlock freedom uses **distance classes**: the VC index is the hop index
+(``VC_out = VC_in + 1``), so the channel-dependency graph is trivially acyclic.
+Configured with ``N + M`` classes (``N`` = network dimensions, ``M`` = deroute
+budget), the algorithm permits a deroute exactly when the remaining minimal
+hop count is strictly less than the remaining classes (Section 5.2 step 2) —
+the budget M is spent anywhere along the path, in any combination.
+
+With ``M = N`` (2N classes) OmniWAR can deroute once per dimension's worth of
+congestion and achieves the theoretical 100%/50% benign/worst-case throughput
+bounds regardless of dimensionality.  The optional restriction of back-to-back
+deroutes in the same dimension (the Section 5.2 optimization) is a pure
+function of the input port and candidate output ports — no packet state.
+
+As with DimWAR, all routing state lives in the VC identifier; the packet
+format is untouched.
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class OmniWAR(HyperXRouting):
+    name = "OmniWAR"
+    incremental = True
+    dimension_ordered = False
+    deadlock_handling = "restricted routes & distance classes"
+    packet_contents = "none"
+
+    def __init__(self, topology, deroutes: int | None = None,
+                 restrict_back_to_back: bool = False):
+        super().__init__(topology)
+        n = topology.num_dims
+        self.deroutes = n if deroutes is None else int(deroutes)
+        if self.deroutes < 0:
+            raise ValueError("deroute budget must be >= 0")
+        self.num_classes = n + self.deroutes
+        self.restrict_back_to_back = restrict_back_to_back
+        if restrict_back_to_back:
+            self.name = "OmniWAR-b2b"
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        rid = ctx.router.router_id
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        classes_left = self.num_classes - klass
+        assert remaining <= classes_left, (
+            "distance-class invariant violated: not enough classes left to "
+            "reach the destination minimally"
+        )
+        # Section 5.2 step 2: derouting is allowed unless the remaining
+        # minimal hops exactly consume the remaining distance classes.
+        may_deroute = classes_left - remaining >= 1
+
+        input_dim = None
+        if self.restrict_back_to_back and not ctx.from_terminal:
+            input_dim = self.hx.port_dim(rid, ctx.input_port)
+
+        cands: list[RouteCandidate] = []
+        for d in range(self.hx.num_dims):
+            if here[d] == dest[d]:
+                continue  # only unaligned dimensions are valid (step 3)
+            cands.append(
+                RouteCandidate(
+                    out_port=self.min_port(rid, d, dest[d]),
+                    vc_class=klass,
+                    hops=remaining,
+                )
+            )
+            if may_deroute and d != input_dim:
+                for port in self.deroute_ports(rid, d, here[d], dest[d]):
+                    cands.append(
+                        RouteCandidate(
+                            out_port=port,
+                            vc_class=klass,
+                            hops=remaining + 1,
+                            deroute=True,
+                        )
+                    )
+        return cands

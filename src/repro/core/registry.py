@@ -1,0 +1,106 @@
+"""Algorithm registry: name -> factory, plus the paper's Table 1 / Table 2.
+
+The registry is what the sweep driver, the benchmarks, and the examples use
+to instantiate routing algorithms by name.  It also carries the metadata
+needed to regenerate Table 1 (implementation comparison) — including DAL,
+which is analysed but, as in the paper, never simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..topology.hyperx import HyperX
+from .base import RoutingAlgorithm
+from .closad import ClosAD
+from .dimwar import DimWAR
+from .dor import DimensionOrderRouting
+from .minad import MinAdaptive
+from .minimal_oblivious import RandomDimOrder, Romm
+from .omniwar import OmniWAR
+from .ugal import Ugal
+from .valiant import Valiant
+
+Factory = Callable[[HyperX], RoutingAlgorithm]
+
+_FACTORIES: dict[str, Factory] = {
+    "DOR": DimensionOrderRouting,
+    "VAL": Valiant,
+    "UGAL": Ugal,
+    "UGAL+": ClosAD,
+    "MIN-AD": MinAdaptive,
+    "ROMM": Romm,
+    "O1Turn": RandomDimOrder,
+    "DimWAR": DimWAR,
+    "OmniWAR": OmniWAR,
+    "OmniWAR-b2b": lambda topo: OmniWAR(topo, restrict_back_to_back=True),
+}
+
+#: the paper's Figure 6 / Figure 8 line-up (Table 2)
+PAPER_ALGORITHMS = ("DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR")
+
+#: Table 2 descriptions
+ALGORITHM_DESCRIPTIONS: dict[str, str] = {
+    "DOR": "Dimension Order Routing",
+    "VAL": "Valiant's Randomized Routing",
+    "UGAL": "Universal Global Adaptive Load-balancing",
+    "UGAL+": "UGAL optimized for HyperX (Clos-AD without seq. allocation)",
+    "MIN-AD": "Minimal Adaptive Routing",
+    "ROMM": "Randomized Oblivious Minimal (two-phase, minimal quadrant)",
+    "O1Turn": "Per-packet random dimension order, minimal oblivious",
+    "DimWAR": "Dimensionally-ordered Weighted Adaptive Routing (Sec 5.1)",
+    "OmniWAR": "Omni-dimensional Weighted Adaptive Routing (Sec 5.2)",
+    "OmniWAR-b2b": "OmniWAR with back-to-back same-dimension deroutes restricted",
+}
+
+
+def algorithm_names() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str, topology: HyperX, **kwargs) -> RoutingAlgorithm:
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {algorithm_names()}"
+        ) from None
+    if kwargs:
+        if name in ("OmniWAR", "OmniWAR-b2b"):
+            return OmniWAR(topology, **kwargs)
+        if name == "UGAL":
+            return Ugal(topology, **kwargs)
+        raise ValueError(f"{name} takes no extra arguments")
+    return factory(topology)
+
+
+def table1_rows(num_dims: int = 3) -> list[dict[str, object]]:
+    """Regenerate the paper's Table 1 (implementation comparison).
+
+    ``N`` in the OmniWAR row is the number of network dimensions; ``M`` its
+    deroute budget.  DAL is included from its published description — it is
+    analysed (:mod:`repro.core.dal_analysis`) but not simulatable without
+    escape paths.
+    """
+    hx = HyperX((2,) * num_dims, 1)
+    rows = []
+    for name in ("UGAL", "UGAL+", "DimWAR", "OmniWAR"):
+        algo = make_algorithm(name, hx)
+        row = algo.describe()
+        if name == "UGAL+":
+            row["name"] = "Clos-AD"
+            row["architecture_requirements"] = "seq. alloc."
+        rows.append(row)
+    rows.insert(
+        2,
+        {
+            "name": "DAL",
+            "dimension_ordered": False,
+            "routing_style": "incremental",
+            "vcs_required": "1+1e",
+            "deadlock_handling": "escape paths",
+            "architecture_requirements": "escape paths",
+            "packet_contents": "N-bit field",
+        },
+    )
+    return rows

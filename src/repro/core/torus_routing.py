@@ -1,0 +1,112 @@
+"""Dimension-order routing for torus and mesh networks (Section 2.1).
+
+The paper's background taxonomy in executable form:
+
+* :class:`MeshDOR` — restricted routes alone suffice: DOR on a mesh has no
+  cyclic channel dependencies and needs a **single** resource class;
+* :class:`TorusDOR` — the torus's wraparound rings add structural cycles;
+  **dateline resource classes** break them: a packet starts each ring on
+  class 0 and moves to class 1 when (and after) it crosses the ring's
+  dateline (the wrap link), so the dependency chain inside every ring is
+  acyclic.  Two classes suffice because the dimension order lets them be
+  reused ring after ring — precisely the reuse trick DimWAR generalizes to
+  HyperX deroutes (Section 5.1).
+
+Both are verified mechanically by the channel-dependency checker in
+:mod:`repro.core.deadlock`.
+"""
+
+from __future__ import annotations
+
+from ..topology.torus import Torus
+from .base import RouteCandidate, RouteContext, RoutingAlgorithm
+
+
+class _TorusBase(RoutingAlgorithm):
+    def __init__(self, topology: Torus):
+        if not isinstance(topology, Torus):
+            raise TypeError(f"{type(self).__name__} requires a Torus/Mesh topology")
+        super().__init__(topology)
+        self.torus: Torus = topology
+
+    def dest_router(self, packet) -> int:
+        return packet.dst_terminal // self.torus.terminals_per_router
+
+    def _next_hop(self, rid: int, dest: tuple[int, ...]) -> tuple[int, int, bool, int]:
+        """(dim, port, crosses_dateline, remaining_hops) of the DOR hop."""
+        t = self.torus
+        here = t.coords(rid)
+        remaining = sum(
+            t.dim_distance(d, a, b) for d, (a, b) in enumerate(zip(here, dest))
+        )
+        for d in range(t.num_dims):
+            if here[d] == dest[d]:
+                continue
+            direction = t.dim_direction(d, here[d], dest[d])
+            port = t.dir_port(rid, d, direction)
+            w = t.widths[d]
+            crosses = t.wrap and (
+                (direction == 1 and here[d] == w - 1)
+                or (direction == -1 and here[d] == 0)
+            )
+            return d, port, crosses, remaining
+        raise AssertionError("never called at the destination router")
+
+
+class MeshDOR(_TorusBase):
+    """DOR on a mesh: restricted routes, one resource class."""
+
+    name = "Mesh-DOR"
+    num_classes = 1
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes"
+    packet_contents = "none"
+
+    def __init__(self, topology: Torus):
+        super().__init__(topology)
+        if topology.wrap:
+            raise ValueError(
+                "MeshDOR on a wrapped torus would deadlock; use TorusDOR"
+            )
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        _, port, _, remaining = self._next_hop(
+            ctx.router.router_id, self.torus.coords(self.dest_router(ctx.packet))
+        )
+        return [RouteCandidate(out_port=port, vc_class=0, hops=remaining)]
+
+
+class TorusDOR(_TorusBase):
+    """DOR on a torus with dateline resource classes (2 VCs).
+
+    The class the packet is on encodes everything: class 0 = has not yet
+    crossed the current ring's dateline, class 1 = has.  Entering a new
+    dimension resets to class 0 — detectable from the input port's
+    dimension, with no packet state (the property DimWAR inherits).
+    """
+
+    name = "Torus-DOR"
+    num_classes = 2
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes & resource classes (dateline)"
+    packet_contents = "none"
+
+    def __init__(self, topology: Torus):
+        super().__init__(topology)
+        if not topology.wrap:
+            raise ValueError("use MeshDOR on meshes (saves a resource class)")
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        t = self.torus
+        rid = ctx.router.router_id
+        dest = t.coords(self.dest_router(ctx.packet))
+        dim, port, crosses, remaining = self._next_hop(rid, dest)
+        if ctx.from_terminal:
+            in_ring_class = 0
+        else:
+            in_dim, _, _ = t.port_info(rid, ctx.input_port)
+            in_ring_class = ctx.input_vc_class if in_dim == dim else 0
+        klass = 1 if (crosses or in_ring_class == 1) else 0
+        return [RouteCandidate(out_port=port, vc_class=klass, hops=remaining)]

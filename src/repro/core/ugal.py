@@ -1,0 +1,106 @@
+"""UGAL — Universal Global Adaptive Load-balancing (Singh, 2005).
+
+The canonical *source-adaptive* algorithm: at the packet's **source router
+only**, compare the minimal (DOR) path against one or more randomly chosen
+Valiant paths, weighting each by ``local congestion of its first hop x total
+path hop count``, and commit to the winner for the packet's whole lifetime.
+
+Because only the source router's local state feeds the decision, UGAL is
+blind to congestion deeper in the network — the deficiency the paper's
+Figure 6d (URBy) and 6f (DCR) experiments expose, and the motivation for the
+incremental DimWAR/OmniWAR.
+
+Resource classes as for VAL: class 0 = toward the intermediate, class 1 =
+toward the destination (minimal-mode packets start in class 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class Ugal(HyperXRouting):
+    name = "UGAL"
+    num_classes = 2
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes & resource classes"
+    packet_contents = "int. addr."
+
+    def __init__(self, topology, seed: int = 11, val_candidates: int = 1):
+        super().__init__(topology)
+        if val_candidates < 1:
+            raise ValueError("need at least one Valiant candidate")
+        self.rng = np.random.default_rng(seed)
+        self.val_candidates = val_candidates
+
+    # ------------------------------------------------------------------
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        state = ctx.packet.routing_state
+        mode = state.get("ugal_mode")
+        if mode is None:
+            return self._source_decision(ctx)
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        if mode == "val":
+            inter = state["ugal_int"]
+            if not state.get("ugal_phase2") and here == inter:
+                state["ugal_phase2"] = True
+            if not state.get("ugal_phase2"):
+                hop = self.dor_port(ctx.router.router_id, here, inter)
+                assert hop is not None
+                hops = self.hx.min_hops(
+                    ctx.router.router_id, self.hx.router_id(inter)
+                ) + self.hx.min_hops(
+                    self.hx.router_id(inter), self.dest_router(ctx.packet)
+                )
+                return [RouteCandidate(out_port=hop[0], vc_class=0, hops=hops)]
+        hop = self.dor_port(ctx.router.router_id, here, dest)
+        assert hop is not None
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        return [RouteCandidate(out_port=hop[0], vc_class=1, hops=remaining)]
+
+    def _source_decision(self, ctx: RouteContext) -> list[RouteCandidate]:
+        """Offer the minimal path plus sampled Valiant paths; the router's
+        weight comparison (congestion x hops, first-hop congestion only) *is*
+        the UGAL decision, and :meth:`commit` pins the winner."""
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        rid = ctx.router.router_id
+        min_hop = self.dor_port(rid, here, dest)
+        assert min_hop is not None
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        cands = [RouteCandidate(out_port=min_hop[0], vc_class=1, hops=remaining)]
+        proposals: dict[int, tuple[int, ...]] = {}
+        for _ in range(self.val_candidates):
+            irid = int(self.rng.integers(self.hx.num_routers))
+            if irid == rid or irid == self.dest_router(ctx.packet):
+                continue  # degenerate intermediate: identical to minimal
+            inter = self.hx.coords(irid)
+            hop = self.dor_port(rid, here, inter)
+            assert hop is not None
+            hops = self.hx.min_hops(rid, irid) + self.hx.min_hops(
+                irid, self.dest_router(ctx.packet)
+            )
+            cand = RouteCandidate(
+                out_port=hop[0], vc_class=0, hops=hops, deroute=True
+            )
+            proposals[id(cand)] = inter
+            cands.append(cand)
+        ctx.packet.routing_state["_ugal_proposals"] = proposals
+        return cands
+
+    def commit(self, ctx: RouteContext, chosen: RouteCandidate) -> None:
+        state = ctx.packet.routing_state
+        if state.get("ugal_mode") is not None:
+            return
+        proposals = state.pop("_ugal_proposals", {})
+        if chosen.vc_class == 1:
+            state["ugal_mode"] = "min"
+        else:
+            state["ugal_mode"] = "val"
+            state["ugal_int"] = proposals[id(chosen)]

@@ -1,0 +1,69 @@
+"""Valiant's randomized routing (VAL).
+
+Every packet is routed minimally (DOR) to a uniformly random intermediate
+router, then minimally (DOR) to its destination.  This perfectly load-balances
+any admissible traffic pattern at the price of doubling path length and
+bandwidth consumption — the paper's non-minimal oblivious baseline, achieving
+~50% throughput on adversarial patterns and only ~50% on benign ones.
+
+Two resource classes provide deadlock freedom: class 0 for the source-to-
+intermediate DOR phase, class 1 for the intermediate-to-destination phase.
+The intermediate address is carried in the packet (Table 1: "int. addr."),
+which is exactly the packet-format cost DimWAR/OmniWAR avoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class Valiant(HyperXRouting):
+    name = "VAL"
+    num_classes = 2
+    incremental = False
+    dimension_ordered = True
+    deadlock_handling = "restricted routes & resource classes"
+    packet_contents = "int. addr."
+
+    def __init__(self, topology, seed: int = 7):
+        super().__init__(topology)
+        self.rng = np.random.default_rng(seed)
+
+    def _intermediate(self, ctx: RouteContext) -> tuple[int, ...]:
+        state = ctx.packet.routing_state
+        inter = state.get("val_int")
+        if inter is None:
+            # Sample once, at the source router, and pin it immediately: the
+            # oblivious choice must not depend on later congestion stalls.
+            rid = int(self.rng.integers(self.hx.num_routers))
+            inter = self.hx.coords(rid)
+            state["val_int"] = inter
+        return inter
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        inter = self._intermediate(ctx)
+        state = ctx.packet.routing_state
+        if not state.get("val_phase2") and here == inter:
+            state["val_phase2"] = True
+        if not state.get("val_phase2"):
+            hop = self.dor_port(ctx.router.router_id, here, inter)
+            if hop is None:  # intermediate == source router: skip phase 1
+                state["val_phase2"] = True
+            else:
+                port, _ = hop
+                hops = self.hx.min_hops(
+                    ctx.router.router_id, self.hx.router_id(inter)
+                ) + self.hx.min_hops(
+                    self.hx.router_id(inter), self.dest_router(ctx.packet)
+                )
+                return [RouteCandidate(out_port=port, vc_class=0, hops=hops)]
+        hop = self.dor_port(ctx.router.router_id, here, dest)
+        assert hop is not None
+        port, _ = hop
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        return [RouteCandidate(out_port=port, vc_class=1, hops=remaining)]

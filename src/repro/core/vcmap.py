@@ -1,0 +1,53 @@
+"""Resource-class to virtual-channel mapping.
+
+The paper's evaluation gives every routing algorithm 8 VCs; algorithms whose
+deadlock-avoidance scheme needs fewer resource classes use the spare VCs to
+reduce head-of-line blocking (footnote 4).  :class:`VcMap` implements that
+policy: the ``num_vcs`` physical VCs are partitioned into ``num_classes``
+contiguous groups as evenly as possible (earlier classes get the spare VCs
+first), and the inverse map recovers the resource class from a VC id — which
+is how DimWAR and OmniWAR read a packet's routing state out of nothing but
+the VC it arrived on.
+
+The groups must be *contiguous and ordered* so that the acyclic class order
+proven for each algorithm carries over to concrete VC ids.
+"""
+
+from __future__ import annotations
+
+
+class VcMap:
+    """Partition ``num_vcs`` VCs into ``num_classes`` ordered groups."""
+
+    def __init__(self, num_classes: int, num_vcs: int):
+        if num_classes < 1:
+            raise ValueError("need at least one resource class")
+        if num_vcs < num_classes:
+            raise ValueError(
+                f"{num_classes} resource classes cannot fit in {num_vcs} VCs"
+            )
+        self.num_classes = num_classes
+        self.num_vcs = num_vcs
+        base, extra = divmod(num_vcs, num_classes)
+        self._groups: list[tuple[int, ...]] = []
+        self._class_of = [0] * num_vcs
+        vc = 0
+        for klass in range(num_classes):
+            size = base + (1 if klass < extra else 0)
+            group = tuple(range(vc, vc + size))
+            self._groups.append(group)
+            for v in group:
+                self._class_of[v] = klass
+            vc += size
+        assert vc == num_vcs
+
+    def vcs_of(self, klass: int) -> tuple[int, ...]:
+        """Physical VCs backing resource class ``klass``."""
+        return self._groups[klass]
+
+    def class_of(self, vc: int) -> int:
+        """Resource class a physical VC belongs to."""
+        return self._class_of[vc]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VcMap({self.num_classes} classes -> {self._groups})"

@@ -1,0 +1,87 @@
+"""Congestion estimation and route weighting.
+
+The paper scores every valid route with ``weight = congestion x hopcount``
+(Sections 5.1 step 3 and 5.2 step 4), where congestion is *locally detected*:
+a router can observe how many credits it has consumed toward each downstream
+input buffer (i.e. how full the next hop's buffer is, including flits in
+flight) and how many flits are staged in its own output queues.
+
+Three estimator modes are provided (the choice is an ablation bench):
+
+``credit``        downstream occupancy only (credits consumed),
+``queue``         local output-queue occupancy only,
+``credit_queue``  their sum — the default, closest to what a real high-radix
+                  router can observe and what SuperSim-style models use.
+
+All modes normalize occupancy by the buffer depth and the class-group width,
+yielding a congestion value of ~0 for an idle port and ~1 for a full
+downstream buffer.  The normalization sets the adaptive threshold: a deroute
+(hops+1) wins over a congested minimal hop only when the minimal candidate's
+buffers are substantially occupied — one in-flight packet must not trigger
+global load balancing (the paper's bipolar-UGAL critique cuts both ways).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+#: signature: (occupied_downstream_slots, staged_output_flits, num_vcs_in_group,
+#:             buffer_depth) -> congestion estimate
+Estimator = Callable[[int, int, int, int], float]
+
+
+def _credit(occupied: int, staged: int, group: int, depth: int) -> float:
+    return occupied / (group * depth)
+
+
+def _queue(occupied: int, staged: int, group: int, depth: int) -> float:
+    return staged / (group * depth)
+
+
+def _credit_queue(occupied: int, staged: int, group: int, depth: int) -> float:
+    return (occupied + staged) / (group * depth)
+
+
+_MODES: dict[str, Estimator] = {
+    "credit": _credit,
+    "queue": _queue,
+    "credit_queue": _credit_queue,
+}
+
+
+def get_estimator(mode: str) -> Estimator:
+    try:
+        return _MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion mode {mode!r}; choose from {sorted(_MODES)}"
+        ) from None
+
+
+def estimator_modes() -> list[str]:
+    return sorted(_MODES)
+
+
+def route_weight(congestion: float, hops: int, bias: float = 1.0) -> float:
+    """The paper's weight: estimated latency to destination.
+
+    ``bias`` adds one flit-time of base latency per hop so that a completely
+    idle network still prefers shorter paths (congestion of 0 would otherwise
+    make every candidate weight 0 and the choice arbitrary).
+    """
+    return (congestion + bias) * hops
+
+
+def pick_min_weight(
+    weights: Sequence[float], tiebreak: Sequence[float] | None = None
+) -> int:
+    """Index of the minimum weight; optional secondary key for ties."""
+    best = 0
+    for i in range(1, len(weights)):
+        if weights[i] < weights[best] or (
+            weights[i] == weights[best]
+            and tiebreak is not None
+            and tiebreak[i] < tiebreak[best]
+        ):
+            best = i
+    return best

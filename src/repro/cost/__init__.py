@@ -1,0 +1,26 @@
+"""The Figure 3 cabling-cost model: packaging, technologies, comparison."""
+
+from .model import CostPoint, figure3_points, size_dragonfly, size_hyperx
+from .packaging import CableInventory, dragonfly_inventory, hyperx_inventory
+from .technologies import (
+    ELECTRICAL_REACH_M,
+    CableTechnology,
+    ElectricalAoc,
+    PassiveOptical,
+    paper_technologies,
+)
+
+__all__ = [
+    "figure3_points",
+    "CostPoint",
+    "size_hyperx",
+    "size_dragonfly",
+    "CableInventory",
+    "hyperx_inventory",
+    "dragonfly_inventory",
+    "CableTechnology",
+    "ElectricalAoc",
+    "PassiveOptical",
+    "paper_technologies",
+    "ELECTRICAL_REACH_M",
+]

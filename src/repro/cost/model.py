@@ -1,0 +1,122 @@
+"""The Figure 3 cost comparison: Dragonfly cost relative to HyperX.
+
+For a range of target system sizes, size a balanced 3-D HyperX (widths
+``w x w x w`` with ``T = w`` terminals per router — the paper's 50%-bisection
+proportions, 8x8x8xT8 at 4,096 nodes) and a balanced Dragonfly
+(``a = 2p = 2h``, maximum size) with at least that many nodes, price every
+cable under each technology, and report the ratio
+
+    relative_cost = dragonfly_$_per_node / hyperx_$_per_node
+
+(the paper's Figure 3 y-axis).  The headline results being reproduced:
+with copper + AOC at modern signaling rates the Dragonfly is ~10% cheaper
+at large scale; with passive optical cables the HyperX is always lower or
+equal in cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .packaging import CableInventory, dragonfly_inventory, hyperx_inventory
+from .technologies import CableTechnology, paper_technologies
+
+
+@dataclass(frozen=True)
+class SizedHyperX:
+    width: int
+
+    @property
+    def nodes(self) -> int:
+        return self.width**4  # w^3 routers x T = w terminals
+
+    @property
+    def radix(self) -> int:
+        return 3 * (self.width - 1) + self.width
+
+
+@dataclass(frozen=True)
+class SizedDragonfly:
+    h: int
+
+    @property
+    def a(self) -> int:
+        return 2 * self.h
+
+    @property
+    def p(self) -> int:
+        return self.h
+
+    @property
+    def groups(self) -> int:
+        return self.a * self.h + 1
+
+    @property
+    def nodes(self) -> int:
+        return self.groups * self.a * self.p
+
+    @property
+    def radix(self) -> int:
+        return 4 * self.h - 1
+
+
+def size_hyperx(target_nodes: int) -> SizedHyperX:
+    """Smallest balanced 3-D HyperX with at least ``target_nodes``."""
+    w = 2
+    while SizedHyperX(w).nodes < target_nodes:
+        w += 1
+    return SizedHyperX(w)
+
+
+def size_dragonfly(target_nodes: int) -> SizedDragonfly:
+    """Smallest balanced Dragonfly with at least ``target_nodes``."""
+    h = 1
+    while SizedDragonfly(h).nodes < target_nodes:
+        h += 1
+    return SizedDragonfly(h)
+
+
+def inventory_cost(inv: CableInventory, tech: CableTechnology) -> float:
+    return sum(tech.cable_cost(length) * n for length, n in inv.lengths.items())
+
+
+@dataclass
+class CostPoint:
+    target_nodes: int
+    technology: str
+    hyperx_nodes: int
+    dragonfly_nodes: int
+    hyperx_cost_per_node: float
+    dragonfly_cost_per_node: float
+
+    @property
+    def relative_cost(self) -> float:
+        """Dragonfly cost relative to HyperX (Figure 3 y-axis)."""
+        return self.dragonfly_cost_per_node / self.hyperx_cost_per_node
+
+
+def figure3_points(
+    target_sizes: list[int] | None = None,
+    technologies: list[CableTechnology] | None = None,
+) -> list[CostPoint]:
+    """Compute the Figure 3 grid: relative cost per size per technology."""
+    target_sizes = target_sizes or [1024, 4096, 16384, 65536, 262144]
+    technologies = technologies or paper_technologies()
+    out = []
+    for n in target_sizes:
+        hx = size_hyperx(n)
+        df = size_dragonfly(n)
+        hx_inv = hyperx_inventory((hx.width,) * 3, hx.width)
+        df_inv = dragonfly_inventory(df.p, df.a, df.h)
+        for tech in technologies:
+            out.append(
+                CostPoint(
+                    target_nodes=n,
+                    technology=tech.name,
+                    hyperx_nodes=hx.nodes,
+                    dragonfly_nodes=df.nodes,
+                    hyperx_cost_per_node=inventory_cost(hx_inv, tech) / hx.nodes,
+                    dragonfly_cost_per_node=inventory_cost(df_inv, tech) / df.nodes,
+                )
+            )
+    return out

@@ -1,0 +1,114 @@
+"""Physical packaging models: cable inventories with lengths.
+
+"For this we calculated the length of every cable in each of these networks
+based on common physical dimensions and placement" (Section 3.1).  We do the
+same with explicit machine-room geometry:
+
+* racks are 0.6 m wide, arranged in rows with 1.5 m aisle pitch,
+* a cable between racks runs Manhattan distance plus a 2 m in-rack vertical
+  overhead; cables within one rack are 1 m,
+* **HyperX (3-D)**: dimension 1 is packaged inside a rack (a full X line per
+  rack), dimension 2 connects the racks of a row, dimension 3 connects rows —
+  the paper's "each dimension can be individually augmented to fit within a
+  physical packaging domain",
+* **Dragonfly**: one group per rack; local cables stay in the rack, each
+  group pair is joined by one global cable between their racks (row-major
+  rack placement, the standard layout of the 2008 cost model).
+
+The inventory is a histogram ``length -> cable count`` (undirected physical
+cables), which the cost model prices under each technology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+RACK_WIDTH_M = 0.6
+ROW_PITCH_M = 1.5
+IN_RACK_M = 1.0
+RACK_OVERHEAD_M = 2.0
+RACKS_PER_ROW = 16
+
+
+def rack_distance_m(rack_a: tuple[int, int], rack_b: tuple[int, int]) -> float:
+    """Cable length between two racks at (row, column) grid positions."""
+    (ra, ca), (rb, cb) = rack_a, rack_b
+    if rack_a == rack_b:
+        return IN_RACK_M
+    return (
+        abs(ca - cb) * RACK_WIDTH_M
+        + abs(ra - rb) * ROW_PITCH_M
+        + RACK_OVERHEAD_M
+    )
+
+
+@dataclass
+class CableInventory:
+    """Histogram of physical cables by length."""
+
+    lengths: Counter
+
+    def __init__(self) -> None:
+        self.lengths = Counter()
+
+    def add(self, length_m: float, count: int = 1) -> None:
+        if length_m <= 0 or count < 1:
+            raise ValueError("cables have positive length and count")
+        self.lengths[round(length_m, 3)] += count
+
+    @property
+    def num_cables(self) -> int:
+        return sum(self.lengths.values())
+
+    @property
+    def total_length_m(self) -> float:
+        return sum(length * n for length, n in self.lengths.items())
+
+
+def hyperx_inventory(
+    widths: tuple[int, int, int], terminals_per_router: int,
+    include_terminal_cables: bool = False,
+) -> CableInventory:
+    """Cable inventory of a 3-D HyperX packaged per the paper's scheme.
+
+    Rack (x2, x3) holds the X-line of ``w1`` routers; racks of equal ``x3``
+    form a row.
+    """
+    w1, w2, w3 = widths
+    inv = CableInventory()
+    # dim 1: inside every rack, a full crossbar of the X line
+    inv.add(IN_RACK_M, (w1 * (w1 - 1) // 2) * w2 * w3)
+    # dim 2: between rack columns of one row, w1 cables per router pair
+    for a in range(w2):
+        for b in range(a + 1, w2):
+            d = rack_distance_m((0, a), (0, b))
+            inv.add(d, w1 * w3)
+    # dim 3: between rows, same column; w1 cables per router pair
+    for a in range(w3):
+        for b in range(a + 1, w3):
+            d = rack_distance_m((a, 0), (b, 0))
+            inv.add(d, w1 * w2)
+    if include_terminal_cables:
+        inv.add(IN_RACK_M, w1 * w2 * w3 * terminals_per_router)
+    return inv
+
+
+def dragonfly_inventory(
+    p: int, a: int, h: int, include_terminal_cables: bool = False
+) -> CableInventory:
+    """Cable inventory of a maximum-size Dragonfly, one group per rack."""
+    g = a * h + 1
+    inv = CableInventory()
+    # local: full crossbar inside each rack
+    inv.add(IN_RACK_M, (a * (a - 1) // 2) * g)
+    # global: one cable per group pair; racks laid out row-major
+    def pos(group: int) -> tuple[int, int]:
+        return (group // RACKS_PER_ROW, group % RACKS_PER_ROW)
+
+    for ga in range(g):
+        for gb in range(ga + 1, g):
+            inv.add(rack_distance_m(pos(ga), pos(gb)))
+    if include_terminal_cables:
+        inv.add(IN_RACK_M, g * a * p)
+    return inv

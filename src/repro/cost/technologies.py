@@ -1,0 +1,90 @@
+"""Cable technologies and price curves (Figure 3).
+
+The paper's cost analysis compares two cabling regimes:
+
+* **Electrical + AOC** — direct-attach copper up to the reach limit of the
+  signaling rate (the paper quotes 8 m at 2.5 GHz, 5 m at 10 GHz, 3 m at
+  25 GHz, 2 m at 50 GHz, 1 m at 100 GHz), active optical cables beyond.
+  AOCs carry two transceivers, so their cost is dominated by a large
+  per-cable constant.
+* **Passive optical** — co-packaged/integrated photonics drive cheap passive
+  fiber directly; cost is a small constant plus a small per-meter term.
+
+The paper's absolute prices come from confidential vendor quotes; these
+constants are representative public-shape values (a DAC is cheap, an AOC
+costs several times a DAC, passive fiber is the cheapest per cable), and the
+analysis reports *relative* Dragonfly/HyperX cost as the paper does, which
+is insensitive to uniform price scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: electrical reach in meters by signaling rate in GHz (Section 3.1)
+ELECTRICAL_REACH_M: dict[float, float] = {
+    2.5: 8.0,
+    10.0: 5.0,
+    25.0: 3.0,
+    50.0: 2.0,
+    100.0: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class CableTechnology:
+    """A cabling regime: prices a cable of a given length."""
+
+    name: str
+
+    def cable_cost(self, length_m: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ElectricalAoc(CableTechnology):
+    """DAC below the electrical reach, AOC above it."""
+
+    reach_m: float = 3.0  # 25 GHz default
+    dac_base: float = 10.0
+    dac_per_m: float = 5.0
+    aoc_base: float = 60.0
+    aoc_per_m: float = 12.0
+
+    def cable_cost(self, length_m: float) -> float:
+        if length_m <= 0:
+            raise ValueError("cable length must be positive")
+        if length_m <= self.reach_m:
+            return self.dac_base + self.dac_per_m * length_m
+        return self.aoc_base + self.aoc_per_m * length_m
+
+    @staticmethod
+    def at_rate(rate_ghz: float) -> "ElectricalAoc":
+        try:
+            reach = ELECTRICAL_REACH_M[rate_ghz]
+        except KeyError:
+            raise ValueError(
+                f"unknown signaling rate {rate_ghz}; choose from "
+                f"{sorted(ELECTRICAL_REACH_M)}"
+            ) from None
+        return ElectricalAoc(name=f"DAC/AOC@{rate_ghz:g}GHz", reach_m=reach)
+
+
+@dataclass(frozen=True)
+class PassiveOptical(CableTechnology):
+    """Passive fiber driven by co-packaged photonics."""
+
+    base: float = 12.0
+    per_m: float = 1.0
+
+    def cable_cost(self, length_m: float) -> float:
+        if length_m <= 0:
+            raise ValueError("cable length must be positive")
+        return self.base + self.per_m * length_m
+
+
+def paper_technologies() -> list[CableTechnology]:
+    """The Figure 3 technology line-up."""
+    return [ElectricalAoc.at_rate(r) for r in (2.5, 10.0, 25.0, 50.0, 100.0)] + [
+        PassiveOptical(name="passive-optical")
+    ]

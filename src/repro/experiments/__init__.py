@@ -1,0 +1,50 @@
+"""Experiment drivers: one module per paper figure/table.
+
+===========================  ====================================
+module                       regenerates
+===========================  ====================================
+``fig1_paths``               Figure 1 (path examples)
+``fig2_scalability``         Figure 2 (max nodes vs radix)
+``fig3_cost``                Figure 3 (relative cabling cost)
+``fig4_topologies``          Figure 4 (stencil across topologies)
+``fig5_vcusage``             Figure 5 (VC usage of DimWAR/OmniWAR)
+``fig6_synthetic``           Figures 6a-6g (synthetic traffic)
+``fig8_stencil``             Figures 8a-8c (stencil per algorithm)
+``table1_comparison``        Table 1 (implementation comparison)
+``transient``                transient response (extension experiment)
+===========================  ====================================
+"""
+
+from . import (
+    fig1_paths,
+    fig2_scalability,
+    fig3_cost,
+    fig4_topologies,
+    fig5_vcusage,
+    fig6_synthetic,
+    fig7_model,
+    fig8_stencil,
+    irregular,
+    table1_comparison,
+    table_area,
+    transient,
+)
+from .common import SCALES, Scale, get_scale
+
+__all__ = [
+    "fig1_paths",
+    "fig2_scalability",
+    "fig3_cost",
+    "fig4_topologies",
+    "fig5_vcusage",
+    "fig6_synthetic",
+    "fig7_model",
+    "fig8_stencil",
+    "irregular",
+    "table1_comparison",
+    "table_area",
+    "transient",
+    "Scale",
+    "SCALES",
+    "get_scale",
+]

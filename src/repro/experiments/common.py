@@ -1,0 +1,83 @@
+"""Shared experiment scaffolding: scales and scenario construction.
+
+Every experiment driver accepts a ``scale``:
+
+* ``"smoke"`` — minutes-scale sanity runs (tiny network, short windows);
+  used by the pytest benchmarks so the whole harness regenerates every
+  figure in one sitting.
+* ``"small"`` — the scaled default documented in DESIGN.md: a 4x4x4 HyperX
+  with 4 terminals per router (256 nodes) exhibiting every phenomenon the
+  paper evaluates (bisection saturation, source-adaptive blindness, DCR's
+  dimension-order trap).
+* ``"paper"`` — the paper's 8x8x8, 8 terminals/router, 4,096-node network
+  with 50-cycle channels.  Hours per point in pure Python; provided for
+  full-fidelity reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimConfig, default_config, paper_scale
+from ..topology.hyperx import HyperX
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    widths: tuple[int, ...]
+    terminals_per_router: int
+    total_cycles: int  # per measured load point
+    granularity: float  # injection-rate sweep step (paper: 0.02)
+    stencil_ranks: tuple[int, int, int]
+    stencil_aggregate_flits: int
+
+    def topology(self) -> HyperX:
+        return HyperX(self.widths, self.terminals_per_router)
+
+    def sim_config(self, **overrides) -> SimConfig:
+        if self.name == "paper":
+            return paper_scale(**overrides)
+        return default_config(**overrides)
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        widths=(3, 3, 3),
+        terminals_per_router=2,
+        total_cycles=2500,
+        granularity=0.10,
+        stencil_ranks=(3, 3, 3),
+        stencil_aggregate_flits=1040,  # ~40 flits per neighbour: bandwidth bound
+    ),
+    "small": Scale(
+        name="small",
+        widths=(4, 4, 4),
+        terminals_per_router=4,
+        total_cycles=5000,
+        granularity=0.05,
+        stencil_ranks=(4, 4, 4),
+        stencil_aggregate_flits=2600,  # ~100 flits per neighbour
+    ),
+    "paper": Scale(
+        name="paper",
+        widths=(8, 8, 8),
+        terminals_per_router=8,
+        total_cycles=60_000,
+        granularity=0.02,
+        stencil_ranks=(16, 16, 16),
+        stencil_aggregate_flits=3200,  # 100 kB at 32 B/flit
+    ),
+}
+
+
+def get_scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None

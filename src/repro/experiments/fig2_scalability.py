@@ -1,0 +1,26 @@
+"""Figure 2: scalability of low-diameter networks.
+
+Regenerates the max-nodes-vs-router-radix series for HyperX 2/3/4D,
+Dragonfly, fat tree, SlimFly, and HyperCube, including the paper's quoted
+64-port data points (10,648 / 78,608 / 463,736 nodes for HyperX 2/3/4D).
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_table
+from ..topology.scalability import ScalePoint, figure2_table
+
+
+def run(radices: list[int] | None = None) -> list[ScalePoint]:
+    return figure2_table(radices)
+
+
+def render(points: list[ScalePoint]) -> str:
+    rows = [
+        [p.radix, p.topology, p.diameter, p.nodes, p.detail] for p in points
+    ]
+    return format_table(
+        ["radix", "topology", "diameter", "max nodes", "configuration"],
+        rows,
+        title="Figure 2: scalability of low-diameter networks",
+    )

@@ -1,0 +1,44 @@
+"""Figure 3: Dragonfly cabling cost relative to HyperX.
+
+Regenerates the relative-cost curves per system size and cable technology.
+Expected shape (Section 3.1): Dragonfly ~10% cheaper at large scale with
+copper+AOC at modern signaling rates; HyperX lower or equal with passive
+optical cables.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_table
+from ..cost.model import CostPoint, figure3_points
+
+
+def run(target_sizes: list[int] | None = None) -> list[CostPoint]:
+    return figure3_points(target_sizes)
+
+
+def render(points: list[CostPoint]) -> str:
+    rows = [
+        [
+            p.target_nodes,
+            p.technology,
+            p.hyperx_nodes,
+            p.dragonfly_nodes,
+            f"{p.hyperx_cost_per_node:.1f}",
+            f"{p.dragonfly_cost_per_node:.1f}",
+            f"{p.relative_cost:.3f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        [
+            "target nodes",
+            "technology",
+            "HX nodes",
+            "DF nodes",
+            "HX $/node",
+            "DF $/node",
+            "DF/HX",
+        ],
+        rows,
+        title="Figure 3: Dragonfly cost relative to HyperX",
+    )

@@ -1,0 +1,135 @@
+"""Figure 6: synthetic-traffic load-latency curves and throughput bars.
+
+Figures 6a-6f plot load versus latency for six traffic patterns (UR, BC,
+URBx, URBy, S2, DCR) across the Table 2 algorithms; each curve ends at
+saturation.  Figure 6g compares the achieved (saturation) throughput of
+every algorithm on every pattern.
+
+:func:`run_pattern` regenerates one sub-figure; :func:`run_throughput_chart`
+regenerates 6g.  The expected qualitative results (checked by the benchmark
+harness against the measured data):
+
+* UR — every algorithm reaches high throughput; adaptive ones stay minimal.
+* BC — adaptive algorithms all reach ~ the bisection bound, with DimWAR and
+  OmniWAR at lower latency than UGAL/UGAL+.
+* URBx — congestion visible at the source: everyone adaptive does well;
+  DOR is capped at 1/w.
+* URBy — the paper's source-blindness experiment: DOR capped at 1/w;
+  source-adaptive algorithms degrade (latency blows up well before the
+  incremental ones); DimWAR/OmniWAR sail to the bisection bound.
+* S2 — UGAL collapses to ~50% (topology-agnostic Valiant); UGAL+, DimWAR,
+  OmniWAR exploit the idle in-dimension bandwidth.
+* DCR — the worst-case admissible pattern: DOR collapses to 1/(w*T);
+  DimWAR is limited by dimension order; OmniWAR alone reaches ~50%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+from ..analysis.sweep import SweepResult, saturation_throughput, sweep_load
+from ..core.registry import PAPER_ALGORITHMS, make_algorithm
+from ..traffic.patterns import paper_patterns
+from .common import Scale, get_scale
+
+PAPER_PATTERNS = ("UR", "BC", "URBx", "URBy", "S2", "DCR")
+
+
+@dataclass
+class Fig6Result:
+    scale: str
+    sweeps: dict[tuple[str, str], SweepResult] = field(default_factory=dict)
+
+    def saturation(self, pattern: str, algorithm: str) -> float:
+        return self.sweeps[(pattern, algorithm)].saturation_rate
+
+
+def run_pattern(
+    pattern_name: str,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    scale: str | Scale = "smoke",
+    rates: list[float] | None = None,
+    seed: int = 1,
+) -> Fig6Result:
+    """One load-latency sub-figure (6a-6f): sweep every algorithm."""
+    sc = get_scale(scale)
+    topo = sc.topology()
+    patterns = paper_patterns(topo)
+    if pattern_name not in patterns:
+        raise ValueError(f"unknown paper pattern {pattern_name!r}")
+    result = Fig6Result(scale=sc.name)
+    for algo_name in algorithms:
+        algo = make_algorithm(algo_name, topo)
+        if rates is not None:
+            sweep = sweep_load(
+                topo, algo, patterns[pattern_name], rates,
+                total_cycles=sc.total_cycles, cfg=sc.sim_config(), seed=seed,
+            )
+        else:
+            sweep = saturation_throughput(
+                topo, algo, patterns[pattern_name],
+                granularity=sc.granularity,
+                total_cycles=sc.total_cycles, cfg=sc.sim_config(), seed=seed,
+            )
+        result.sweeps[(pattern_name, algo_name)] = sweep
+    return result
+
+
+def run_throughput_chart(
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    patterns: tuple[str, ...] = PAPER_PATTERNS,
+    scale: str | Scale = "smoke",
+    seed: int = 1,
+) -> Fig6Result:
+    """Figure 6g: achieved throughput for every (pattern, algorithm) pair."""
+    sc = get_scale(scale)
+    result = Fig6Result(scale=sc.name)
+    for pattern_name in patterns:
+        sub = run_pattern(pattern_name, algorithms, sc, seed=seed)
+        result.sweeps.update(sub.sweeps)
+    return result
+
+
+def render_load_latency(result: Fig6Result, pattern: str) -> str:
+    """The rows behind one of Figures 6a-6f."""
+    rows = []
+    for (pat, algo), sweep in sorted(result.sweeps.items()):
+        if pat != pattern:
+            continue
+        for p in sweep.points:
+            rows.append(
+                [
+                    algo,
+                    f"{p.offered_rate:.2f}",
+                    f"{p.accepted_rate:.3f}",
+                    f"{p.mean_latency:.1f}" if p.stable else "saturated",
+                    p.reason if not p.stable else "",
+                ]
+            )
+    return format_table(
+        ["algorithm", "offered", "accepted", "mean latency", "note"],
+        rows,
+        title=f"Figure 6 ({pattern}): load vs latency [{result.scale} scale]",
+    )
+
+
+def render_throughput_chart(
+    result: Fig6Result,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    patterns: tuple[str, ...] = PAPER_PATTERNS,
+) -> str:
+    """The bar heights of Figure 6g."""
+    rows = []
+    for pat in patterns:
+        row = [pat]
+        for algo in algorithms:
+            sweep = result.sweeps.get((pat, algo))
+            row.append(f"{sweep.saturation_rate:.2f}" if sweep else "-")
+        rows.append(row)
+    return format_table(
+        ["pattern", *algorithms],
+        rows,
+        title=f"Figure 6g: achieved throughput (flits/cycle/terminal) "
+        f"[{result.scale} scale]",
+    )

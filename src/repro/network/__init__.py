@@ -1,0 +1,19 @@
+"""The flit-level interconnection-network simulator (SuperSim substrate)."""
+
+from .network import Network
+from .simulator import Simulator
+from .stats import LatencyMonitor, PacketStats
+from .telemetry import LinkStat, TelemetryProbe
+from .types import Flit, Message, Packet
+
+__all__ = [
+    "Network",
+    "Simulator",
+    "Packet",
+    "Flit",
+    "Message",
+    "PacketStats",
+    "LatencyMonitor",
+    "TelemetryProbe",
+    "LinkStat",
+]

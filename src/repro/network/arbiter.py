@@ -1,0 +1,69 @@
+"""Arbiters used for switch/channel scheduling.
+
+The paper's router uses *age-based arbitration* (Dally's virtual-channel flow
+control work) for both virtual-channel and crossbar scheduling: the oldest
+packet in the network wins, which is the classic way to keep low-diameter
+networks stable near saturation.  A round-robin arbiter is provided as the
+cheap alternative (used by the arbitration ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Arbiter:
+    """Base arbiter: pick one request out of many."""
+
+    def pick(self, requests: Sequence[T], key: Callable[[T], tuple]) -> T | None:
+        raise NotImplementedError
+
+
+class AgeBasedArbiter(Arbiter):
+    """Grant the request whose key (creation cycle, packet id) is smallest.
+
+    Ties cannot occur because packet ids are unique.
+    """
+
+    name = "age"
+
+    def pick(self, requests: Sequence[T], key: Callable[[T], tuple]) -> T | None:
+        if not requests:
+            return None
+        return min(requests, key=key)
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter over an index space of size ``size``.
+
+    ``key(request)`` must return a tuple whose first element is the request's
+    index in the rotation.  After a grant, priority moves just past the
+    granted index, guaranteeing starvation freedom.
+    """
+
+    name = "round_robin"
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("arbiter size must be >= 1")
+        self.size = size
+        self._next = 0
+
+    def pick(self, requests: Sequence[T], key: Callable[[T], tuple]) -> T | None:
+        if not requests:
+            return None
+        base = self._next
+        best = min(requests, key=lambda r: (key(r)[0] - base) % self.size)
+        self._next = (key(best)[0] + 1) % self.size
+        return best
+
+
+def make_arbiter(kind: str, size: int) -> Arbiter:
+    """Factory used by router construction ("age" or "round_robin")."""
+    if kind == "age":
+        return AgeBasedArbiter()
+    if kind == "round_robin":
+        return RoundRobinArbiter(size)
+    raise ValueError(f"unknown arbiter kind {kind!r}")

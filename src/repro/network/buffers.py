@@ -1,0 +1,102 @@
+"""Buffering primitives: per-VC input buffers and credit counters.
+
+An :class:`InputUnit` models the buffered input side of one router (or
+terminal) port: one FIFO per virtual channel, with per-VC routing state for
+the packet currently at the head of each VC.  A :class:`CreditTracker` counts
+the free slots the upstream side believes exist in a downstream
+:class:`InputUnit` — the essence of credit-based flow control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .types import Flit
+
+
+@dataclass
+class VcRoute:
+    """Route assignment for the packet at the head of an input VC."""
+
+    out_port: int
+    out_vc: int
+    packet_id: int
+
+
+class VcState:
+    """One virtual channel of an input unit."""
+
+    __slots__ = ("fifo", "route")
+
+    def __init__(self) -> None:
+        self.fifo: deque[Flit] = deque()
+        self.route: VcRoute | None = None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def head(self) -> Flit | None:
+        return self.fifo[0] if self.fifo else None
+
+
+class InputUnit:
+    """Per-VC buffered input of a port."""
+
+    __slots__ = ("num_vcs", "depth", "vcs")
+
+    def __init__(self, num_vcs: int, depth: int):
+        if num_vcs < 1 or depth < 1:
+            raise ValueError("need >= 1 VC and >= 1 buffer slot")
+        self.num_vcs = num_vcs
+        self.depth = depth
+        self.vcs = [VcState() for _ in range(num_vcs)]
+
+    def receive(self, vc: int, flit: Flit) -> None:
+        state = self.vcs[vc]
+        if len(state.fifo) >= self.depth:
+            raise RuntimeError(
+                f"buffer overflow on VC {vc}: credit protocol violated"
+            )
+        state.fifo.append(flit)
+
+    def occupancy(self, vc: int | None = None) -> int:
+        if vc is not None:
+            return self.vcs[vc].occupancy
+        return sum(v.occupancy for v in self.vcs)
+
+    @property
+    def empty(self) -> bool:
+        return all(not v.fifo for v in self.vcs)
+
+
+class CreditTracker:
+    """Upstream view of free space in a downstream input unit."""
+
+    __slots__ = ("depth", "credits")
+
+    def __init__(self, num_vcs: int, depth: int):
+        self.depth = depth
+        self.credits = [depth] * num_vcs
+
+    def available(self, vc: int) -> int:
+        return self.credits[vc]
+
+    def consume(self, vc: int) -> None:
+        if self.credits[vc] <= 0:
+            raise RuntimeError(f"credit underflow on VC {vc}")
+        self.credits[vc] -= 1
+
+    def restore(self, vc: int) -> None:
+        if self.credits[vc] >= self.depth:
+            raise RuntimeError(f"credit overflow on VC {vc}")
+        self.credits[vc] += 1
+
+    def occupied(self, vc: int) -> int:
+        """Downstream slots believed to be occupied (incl. flits in flight)."""
+        return self.depth - self.credits[vc]
+
+    def total_occupied(self) -> int:
+        return sum(self.depth - c for c in self.credits)

@@ -1,0 +1,71 @@
+"""Pipelined channels.
+
+A :class:`Channel` carries at most one item per cycle with a fixed pipeline
+latency, modelling a cable (or on-board trace) between a router output and the
+downstream input.  Credits travel on an identical channel in the opposite
+direction.  Items pushed at cycle ``t`` become deliverable at ``t + latency``.
+
+Delivery is two-phase: the simulator first calls :meth:`Channel.deliver` on
+every channel (moving arrived items into the downstream component), then lets
+every component compute and push new items.  This guarantees that an item can
+never traverse two channels in the same cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+
+class Channel:
+    """A fixed-latency pipeline.
+
+    Data channels carry at most one flit per cycle (``limit_rate=True``);
+    credit channels are narrow sideband signals and may carry several credits
+    per cycle (``limit_rate=False``).
+    """
+
+    __slots__ = ("latency", "name", "limit_rate", "_pipe", "_sink", "_last_push_cycle", "utilization_count")
+
+    def __init__(
+        self,
+        latency: int,
+        sink: Callable[[Any], None],
+        name: str = "",
+        limit_rate: bool = True,
+    ):
+        if latency < 1:
+            raise ValueError("channel latency must be >= 1 cycle")
+        self.latency = latency
+        self.name = name
+        self.limit_rate = limit_rate
+        self._sink = sink
+        self._pipe: deque[tuple[int, Any]] = deque()
+        self._last_push_cycle = -1
+        self.utilization_count = 0  # items ever pushed (for link-utilization stats)
+
+    def push(self, cycle: int, item: Any) -> None:
+        """Send ``item`` down the channel at ``cycle``."""
+        if self.limit_rate:
+            if cycle <= self._last_push_cycle:
+                raise RuntimeError(
+                    f"channel {self.name!r} pushed twice in cycle {cycle}"
+                )
+            self._last_push_cycle = cycle
+        self.utilization_count += 1
+        self._pipe.append((cycle + self.latency, item))
+
+    def deliver(self, cycle: int) -> None:
+        """Hand every item whose latency has elapsed to the sink."""
+        pipe = self._pipe
+        while pipe and pipe[0][0] <= cycle:
+            _, item = pipe.popleft()
+            self._sink(item)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pipe)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._pipe)

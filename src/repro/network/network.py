@@ -1,0 +1,176 @@
+"""Network construction: topology -> routers + terminals + channels.
+
+:class:`Network` instantiates one :class:`~repro.network.router.Router` per
+topology router and one :class:`~repro.network.terminal.Terminal` per
+endpoint, then wires every directed channel (data downstream, credits
+upstream) with the configured latencies: ``channel_latency_rr`` between
+routers, ``channel_latency_rt`` between a router and its terminals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.vcmap import VcMap
+from .buffers import CreditTracker
+from .channel import Channel
+from .router import Router
+from .terminal import Terminal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import SimConfig
+    from ..core.base import RoutingAlgorithm
+    from ..topology.base import Topology
+
+
+class Network:
+    """A fully wired simulated network."""
+
+    def __init__(
+        self,
+        topology: "Topology",
+        algorithm: "RoutingAlgorithm",
+        cfg: "SimConfig",
+    ):
+        cfg.validated()
+        if algorithm.num_classes > cfg.router.num_vcs:
+            raise ValueError(
+                f"{algorithm.name} needs {algorithm.num_classes} resource "
+                f"classes but the router only has {cfg.router.num_vcs} VCs"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.cfg = cfg
+        self.vc_map = VcMap(algorithm.num_classes, cfg.router.num_vcs)
+
+        seeds = np.random.SeedSequence(cfg.seed).spawn(topology.num_routers)
+        self.routers = [
+            Router(r, topology, algorithm, self.vc_map, cfg,
+                   np.random.default_rng(seeds[r]))
+            for r in range(topology.num_routers)
+        ]
+        self.terminals = [
+            Terminal(t, algorithm, self.vc_map, cfg)
+            for t in range(topology.num_terminals)
+        ]
+        self.channels: list[Channel] = []
+        self._wire()
+
+    # ------------------------------------------------------------------
+
+    def _channel(self, latency: int, sink, name: str, limit_rate: bool = True) -> Channel:
+        ch = Channel(latency, sink, name=name, limit_rate=limit_rate)
+        self.channels.append(ch)
+        return ch
+
+    def _wire(self) -> None:
+        topo, cfg = self.topology, self.cfg
+        num_vcs = cfg.router.num_vcs
+        depth = cfg.router.buffer_depth
+        lat_rr = cfg.network.channel_latency_rr
+        lat_rt = cfg.network.channel_latency_rt
+
+        for r in range(topo.num_routers):
+            a = self.routers[r]
+            for port, peer in topo.router_ports(r):
+                if peer.is_router:
+                    rp = peer.router_port
+                    b = self.routers[rp.router]
+                    data = self._channel(
+                        lat_rr, b.make_flit_sink(rp.port), f"r{r}p{port}->r{rp.router}"
+                    )
+                    a.attach_output(port, data, CreditTracker(num_vcs, depth))
+                    cred = self._channel(
+                        lat_rr, a.make_credit_sink(port),
+                        f"cr r{rp.router}->r{r}p{port}", limit_rate=False,
+                    )
+                    b.attach_credit_return(rp.port, cred)
+                else:
+                    t = self.terminals[peer.terminal]
+                    # Terminal -> router (injection).
+                    inj = self._channel(
+                        lat_rt, a.make_flit_sink(port), f"t{t.terminal_id}->r{r}"
+                    )
+                    t.attach_injection(inj, CreditTracker(num_vcs, depth))
+                    inj_cred = self._channel(
+                        lat_rt, t.make_credit_sink(),
+                        f"cr r{r}->t{t.terminal_id}", limit_rate=False,
+                    )
+                    a.attach_credit_return(port, inj_cred)
+                    # Router -> terminal (ejection).
+                    ej = self._channel(
+                        lat_rt, t.make_flit_sink(), f"r{r}->t{t.terminal_id}"
+                    )
+                    a.attach_output(port, ej, CreditTracker(num_vcs, depth))
+                    ej_cred = self._channel(
+                        lat_rt, a.make_credit_sink(port),
+                        f"cr t{t.terminal_id}->r{r}", limit_rate=False,
+                    )
+                    t.attach_ejection_credit(ej_cred)
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and the measurement harness
+    # ------------------------------------------------------------------
+
+    def flits_in_flight(self) -> int:
+        """Flits anywhere between source-queue exit and terminal consumption."""
+        n = 0
+        for ch in self.channels:
+            if ch.limit_rate:  # data channels only
+                n += ch.in_flight
+        for r in self.routers:
+            for iu in r.inputs:
+                n += iu.occupancy()
+            n += sum(r._staged_count)
+        for t in self.terminals:
+            n += t.receive.occupancy()
+        return n
+
+    def total_injected_flits(self) -> int:
+        return sum(t.flits_injected for t in self.terminals)
+
+    def total_ejected_flits(self) -> int:
+        return sum(t.flits_ejected for t in self.terminals)
+
+    def total_backlog_flits(self) -> int:
+        return sum(t.backlog_flits for t in self.terminals)
+
+    def quiescent(self) -> bool:
+        """True when no traffic remains anywhere in the system."""
+        return (
+            all(t.idle for t in self.terminals)
+            and all(r.idle for r in self.routers)
+            and all(not ch.busy for ch in self.channels)
+        )
+
+    def validate_wiring(self) -> None:
+        """Check construction invariants; raises ``AssertionError``.
+
+        * every router-facing port has a data channel and credit tracker,
+        * every terminal is attached on both directions,
+        * channel counts match the topology's structure.
+        """
+        topo = self.topology
+        expected_channels = 0
+        for r in range(topo.num_routers):
+            router = self.routers[r]
+            for port, peer in topo.router_ports(r):
+                assert router.out_channels[port] is not None, (
+                    f"router {r} port {port} has no output channel"
+                )
+                assert router.credit_trackers[port] is not None, (
+                    f"router {r} port {port} has no credit tracker"
+                )
+                assert router._credit_return[port] is not None, (
+                    f"router {r} port {port} has no credit return path"
+                )
+                expected_channels += 2  # data out + credit return
+        for t in self.terminals:
+            assert t.inject_channel is not None and t.inject_credits is not None
+            assert t.eject_credit_channel is not None
+            expected_channels += 2  # injection data + ejection credit
+        assert len(self.channels) == expected_channels, (
+            f"channel count {len(self.channels)} != expected {expected_channels}"
+        )

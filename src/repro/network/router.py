@@ -1,0 +1,364 @@
+"""The combined input/output-queued (CIOQ) router model.
+
+This reproduces the router architecture of the paper's evaluation (Section 6):
+
+* per-input-port, per-VC buffered inputs with credit-based flow control,
+* a routing stage that asks the configured :class:`RoutingAlgorithm` for the
+  valid candidates and scores each with the paper's weight
+  ``congestion x hopcount`` from locally observable state,
+* wormhole virtual-channel allocation (an output VC is held by one packet
+  from head to tail),
+* an internal datapath with *speedup* so that the crossbar is not the
+  bottleneck ("sufficient speedup to ensure the internal router datapath is
+  not a bottleneck"), modelled as per-input-port forwarding speedup into
+  per-output staging queues,
+* a fixed crossbar traversal latency,
+* age-based arbitration for the output channel (the oldest packet in the
+  network wins), as used for both VC and crossbar scheduling in the paper.
+
+Routing decisions for adaptive algorithms are re-evaluated every cycle while
+a packet waits, which is precisely what allows incremental algorithms to react
+to congestion at every hop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.base import RouteCandidate, RouteContext
+from ..core.weights import get_estimator, route_weight
+from .buffers import CreditTracker, InputUnit, VcRoute
+from .channel import Channel
+from .types import Credit, Flit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import SimConfig
+    from ..core.base import RoutingAlgorithm
+    from ..core.vcmap import VcMap
+    from ..topology.base import Topology
+
+
+class Router:
+    """One router of the simulated network."""
+
+    def __init__(
+        self,
+        router_id: int,
+        topology: "Topology",
+        algorithm: "RoutingAlgorithm",
+        vc_map: "VcMap",
+        cfg: "SimConfig",
+        rng: np.random.Generator,
+    ):
+        self.router_id = router_id
+        self.topology = topology
+        self.algorithm = algorithm
+        self.vc_map = vc_map
+        self.cfg = cfg
+        self.rng = rng
+        rc = cfg.router
+        self.num_vcs = rc.num_vcs
+        self.radix = topology.radix(router_id)
+        self._estimator = get_estimator(rc.congestion_mode)
+        self._buffer_depth = rc.buffer_depth
+
+        # Which ports face terminals (ejection targets / injection sources).
+        self.terminal_ports: set[int] = set()
+        self.terminal_of_port: dict[int, int] = {}
+        for port, peer in topology.router_ports(router_id):
+            if peer.is_terminal:
+                self.terminal_ports.add(port)
+                self.terminal_of_port[port] = peer.terminal
+
+        # Input side.
+        self.inputs = [InputUnit(self.num_vcs, rc.buffer_depth) for _ in range(self.radix)]
+        self._credit_return: list[Channel | None] = [None] * self.radix
+
+        # Output side.
+        self.credit_trackers: list[CreditTracker | None] = [None] * self.radix
+        self.out_channels: list[Channel | None] = [None] * self.radix
+        self.out_vc_owner: list[list[int | None]] = [
+            [None] * self.num_vcs for _ in range(self.radix)
+        ]
+        # staged[port][vc]: deque of (ready_cycle, flit) past the crossbar
+        self.staged: list[list[deque]] = [
+            [deque() for _ in range(self.num_vcs)] for _ in range(self.radix)
+        ]
+        self._staged_count = [0] * self.radix
+
+        # Active-set bookkeeping (dicts preserve deterministic insertion order).
+        self._active_in: dict[tuple[int, int], bool] = {}
+        self._active_out: dict[int, bool] = {}
+
+        # Sequential allocation (Section 4.1): flits committed by routing
+        # decisions earlier in the SAME cycle, visible to later decisions.
+        self._sequential = rc.sequential_allocation
+        self._pending_commit = [0] * self.radix
+
+        # Output arbitration: age-based (the paper's choice) or round-robin.
+        if rc.arbiter not in ("age", "round_robin"):
+            raise ValueError(f"unknown arbiter {rc.arbiter!r}")
+        self._age_arbitration = rc.arbiter == "age"
+        self._rr_next = [0] * self.radix  # per-port rotating VC priority
+
+        # Telemetry.
+        self.flits_forwarded = 0
+        self.routes_computed = 0
+        self.route_stalls = 0  # cycles a head packet had no feasible candidate
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the network builder)
+    # ------------------------------------------------------------------
+
+    def attach_output(self, port: int, data: Channel, credits: CreditTracker) -> None:
+        self.out_channels[port] = data
+        self.credit_trackers[port] = credits
+
+    def attach_credit_return(self, port: int, channel: Channel) -> None:
+        self._credit_return[port] = channel
+
+    # ------------------------------------------------------------------
+    # Channel sinks
+    # ------------------------------------------------------------------
+
+    def make_flit_sink(self, port: int):
+        inputs = self.inputs[port]
+        active = self._active_in
+
+        def sink(item: tuple[int, Flit]) -> None:
+            vc, flit = item
+            inputs.receive(vc, flit)
+            active[(port, vc)] = True
+
+        return sink
+
+    def make_credit_sink(self, port: int):
+        """Sink for credits returned by the downstream node of ``port``."""
+        tracker_ref = self.credit_trackers
+
+        def sink(credit: Credit) -> None:
+            tracker_ref[port].restore(credit.vc)
+
+        return sink
+
+    # ------------------------------------------------------------------
+    # Congestion observation (RouterView protocol)
+    # ------------------------------------------------------------------
+
+    def class_congestion(self, out_port: int, vc_class: int) -> float:
+        vcs = self.vc_map.vcs_of(vc_class)
+        tracker = self.credit_trackers[out_port]
+        staged = self.staged[out_port]
+        occ = 0
+        stg = 0
+        for v in vcs:
+            occ += tracker.occupied(v)
+            stg += len(staged[v])
+        if self._sequential:
+            stg += self._pending_commit[out_port]
+        return self._estimator(occ, stg, len(vcs), self._buffer_depth)
+
+    def port_congestion(self, out_port: int) -> float:
+        tracker = self.credit_trackers[out_port]
+        occ = tracker.total_occupied()
+        stg = self._staged_count[out_port]
+        if self._sequential:
+            stg += self._pending_commit[out_port]
+        return self._estimator(occ, stg, self.num_vcs, self._buffer_depth)
+
+    # ------------------------------------------------------------------
+    # Per-cycle pipeline
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        if self._active_in:
+            self._step_inputs(cycle)
+        if self._active_out:
+            self._step_outputs(cycle)
+
+    @property
+    def idle(self) -> bool:
+        return not self._active_in and not self._active_out
+
+    def _step_inputs(self, cycle: int) -> None:
+        speedup = self.cfg.router.input_speedup
+        if self._sequential:
+            self._pending_commit = [0] * self.radix
+        port_budget: dict[int, int] = {}
+        for key in list(self._active_in.keys()):
+            port, vc = key
+            state = self.inputs[port].vcs[vc]
+            if not state.fifo:
+                del self._active_in[key]
+                continue
+            if port_budget.get(port, 0) >= speedup:
+                continue
+            head = state.fifo[0]
+            if state.route is None:
+                if not head.is_head:
+                    raise RuntimeError("non-head flit with no route: VC protocol bug")
+                route = self._compute_route(cycle, port, vc, head)
+                if route is None:
+                    self.route_stalls += 1
+                    continue
+                state.route = route
+            self._try_forward(cycle, port, vc, state, port_budget)
+
+    def _try_forward(self, cycle, port, vc, state, port_budget) -> None:
+        route = state.route
+        out_port, out_vc = route.out_port, route.out_vc
+        tracker = self.credit_trackers[out_port]
+        if tracker.available(out_vc) <= 0:
+            return
+        if self._staged_count[out_port] >= self.cfg.router.output_queue_depth * self.num_vcs:
+            return
+        flit = state.fifo.popleft()
+        tracker.consume(out_vc)
+        self.staged[out_port][out_vc].append((cycle + self.cfg.router.xbar_latency, flit))
+        self._staged_count[out_port] += 1
+        self._active_out[out_port] = True
+        self.flits_forwarded += 1
+        port_budget[port] = port_budget.get(port, 0) + 1
+        # Return a credit upstream for the freed input slot.
+        cr = self._credit_return[port]
+        if cr is not None:
+            cr.push(cycle, Credit(vc))
+        if flit.is_tail:
+            self.out_vc_owner[out_port][out_vc] = None
+            state.route = None
+        if not state.fifo:
+            self._active_in.pop((port, vc), None)
+
+    def _step_outputs(self, cycle: int) -> None:
+        for port in list(self._active_out.keys()):
+            if self._staged_count[port] == 0:
+                del self._active_out[port]
+                continue
+            chan = self.out_channels[port]
+            staged = self.staged[port]
+            best_vc = -1
+            if self._age_arbitration:
+                best_key = None
+                for v in range(self.num_vcs):
+                    q = staged[v]
+                    if q and q[0][0] <= cycle:
+                        k = q[0][1].packet.age_key
+                        if best_key is None or k < best_key:
+                            best_key = k
+                            best_vc = v
+            else:  # round-robin over VCs with a ready head flit
+                base = self._rr_next[port]
+                for off in range(self.num_vcs):
+                    v = (base + off) % self.num_vcs
+                    q = staged[v]
+                    if q and q[0][0] <= cycle:
+                        best_vc = v
+                        self._rr_next[port] = (v + 1) % self.num_vcs
+                        break
+            if best_vc < 0:
+                continue  # nothing past the crossbar yet this cycle
+            _, flit = staged[best_vc].popleft()
+            self._staged_count[port] -= 1
+            chan.push(cycle, (best_vc, flit))
+            if self._staged_count[port] == 0:
+                del self._active_out[port]
+
+    # ------------------------------------------------------------------
+    # Route computation
+    # ------------------------------------------------------------------
+
+    def _compute_route(self, cycle: int, port: int, vc: int, head: Flit) -> VcRoute | None:
+        packet = head.packet
+        self.routes_computed += 1
+        dest_router = self.topology.router_of_terminal(packet.dst_terminal)
+        if dest_router == self.router_id:
+            return self._route_ejection(port, vc, packet)
+
+        from_terminal = port in self.terminal_ports
+        ctx = RouteContext(
+            router=self,
+            packet=packet,
+            input_port=port,
+            input_vc_class=0 if from_terminal else self.vc_map.class_of(vc),
+            from_terminal=from_terminal,
+        )
+        cands = self.algorithm.candidates(ctx)
+        if not cands:
+            raise RuntimeError(
+                f"{self.algorithm.name} returned no candidates at router "
+                f"{self.router_id} for packet {packet.pid}"
+            )
+        port_scope = self.cfg.router.congestion_scope == "port"
+        best: tuple[float, float, RouteCandidate, int] | None = None
+        for cand in cands:
+            out_vc = self._allocate_vc(cand.out_port, cand.vc_class, packet.pid)
+            if out_vc is None:
+                continue
+            if port_scope:
+                congestion = self.port_congestion(cand.out_port)
+            else:
+                congestion = self.class_congestion(cand.out_port, cand.vc_class)
+            w = route_weight(congestion, cand.hops)
+            key = (w, self.rng.random())
+            if best is None or key < (best[0], best[1]):
+                best = (key[0], key[1], cand, out_vc)
+        if best is None:
+            return None
+        _, _, cand, out_vc = best
+        self.algorithm.commit(ctx, cand)
+        self.out_vc_owner[cand.out_port][out_vc] = packet.pid
+        if self._sequential:
+            self._pending_commit[cand.out_port] += packet.size
+        packet.hops += 1
+        if cand.deroute:
+            packet.deroutes += 1
+        if self.cfg.network.track_vc_trace:
+            if packet.vc_trace is None:
+                packet.vc_trace = []
+                packet.port_trace = []
+            packet.vc_trace.append(out_vc)
+            packet.port_trace.append(cand.out_port)
+        return VcRoute(cand.out_port, out_vc, packet.pid)
+
+    def _allocate_vc(self, out_port: int, vc_class: int, pid: int) -> int | None:
+        """Pick a free, credited VC in the class group; None when infeasible."""
+        tracker = self.credit_trackers[out_port]
+        owner = self.out_vc_owner[out_port]
+        best_vc = None
+        best_credits = 0
+        for v in self.vc_map.vcs_of(vc_class):
+            if owner[v] is None:
+                c = tracker.available(v)
+                if c > best_credits:
+                    best_credits = c
+                    best_vc = v
+        return best_vc
+
+    def _route_ejection(self, port: int, vc: int, packet) -> VcRoute | None:
+        dst = packet.dst_terminal
+        out_port = None
+        for p, t in self.terminal_of_port.items():
+            if t == dst:
+                out_port = p
+                break
+        if out_port is None:
+            raise RuntimeError(
+                f"packet {packet.pid} for terminal {dst} reached router "
+                f"{self.router_id}, which does not host it"
+            )
+        # Any free VC with credit; the ejection channel has no deadlock cycle.
+        best_vc = self._allocate_vc(out_port, 0, packet.pid)
+        if best_vc is None and self.vc_map.num_classes > 1:
+            for klass in range(1, self.vc_map.num_classes):
+                best_vc = self._allocate_vc(out_port, klass, packet.pid)
+                if best_vc is not None:
+                    break
+        if best_vc is None:
+            return None
+        self.out_vc_owner[out_port][best_vc] = packet.pid
+        if self.cfg.network.track_vc_trace and packet.vc_trace is not None:
+            pass  # ejection hop not part of the router-to-router VC trace
+        return VcRoute(out_port, best_vc, packet.pid)

@@ -1,0 +1,134 @@
+"""Network telemetry: link utilization, VC occupancy, and congestion maps.
+
+The evaluation narrative of the paper leans on *where* load lands: DOR
+funnelling an X-line's traffic through one Y-channel on DCR, S2 leaving
+most in-dimension links idle, deroutes spreading load across a dimension's
+lateral channels.  This module turns a simulated network into those
+numbers: per-channel utilization, per-dimension aggregates for HyperX, and
+buffer-occupancy snapshots.
+
+Utilization is flits pushed over cycles elapsed — i.e. the fraction of the
+channel's capacity actually used in [window_start, now).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..topology.hyperx import HyperX
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+
+@dataclass(frozen=True)
+class LinkStat:
+    src_router: int
+    src_port: int
+    flits: int
+    utilization: float
+
+
+class TelemetryProbe:
+    """Samples link and buffer state of a network over a window."""
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self._window_start_cycle = 0
+        self._baseline: dict[int, int] = {}
+        # Map each data channel back to (router, port) for attribution.
+        self._channel_of: list[tuple[int, int, object]] = []
+        for r in network.routers:
+            for port, ch in enumerate(r.out_channels):
+                if ch is not None and network.topology.peer(r.router_id, port).is_router:
+                    self._channel_of.append((r.router_id, port, ch))
+
+    # ------------------------------------------------------------------
+
+    def start_window(self, cycle: int) -> None:
+        """Begin a measurement window at ``cycle``."""
+        self._window_start_cycle = cycle
+        self._baseline = {
+            id(ch): ch.utilization_count for _, _, ch in self._channel_of
+        }
+
+    def link_stats(self, cycle: int) -> list[LinkStat]:
+        """Per-router-channel utilization over the current window."""
+        span = max(1, cycle - self._window_start_cycle)
+        out = []
+        for router, port, ch in self._channel_of:
+            flits = ch.utilization_count - self._baseline.get(id(ch), 0)
+            out.append(
+                LinkStat(router, port, flits, min(1.0, flits / span))
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def utilization_summary(self, cycle: int) -> dict[str, float]:
+        """min / mean / max / p95 utilization across router channels."""
+        stats = sorted(s.utilization for s in self.link_stats(cycle))
+        if not stats:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+        return {
+            "min": stats[0],
+            "mean": sum(stats) / len(stats),
+            "max": stats[-1],
+            "p95": stats[min(len(stats) - 1, int(0.95 * len(stats)))],
+        }
+
+    def dimension_utilization(self, cycle: int) -> dict[int, float]:
+        """Mean utilization per HyperX dimension (HyperX networks only)."""
+        topo = self.network.topology
+        if not isinstance(topo, HyperX):
+            raise TypeError("dimension_utilization requires a HyperX network")
+        sums: dict[int, float] = {d: 0.0 for d in range(topo.num_dims)}
+        counts: dict[int, int] = {d: 0 for d in range(topo.num_dims)}
+        for s in self.link_stats(cycle):
+            d = topo.port_dim(s.src_router, s.src_port)
+            sums[d] += s.utilization
+            counts[d] += 1
+        return {d: (sums[d] / counts[d] if counts[d] else 0.0) for d in sums}
+
+    def hottest_links(self, cycle: int, n: int = 5) -> list[LinkStat]:
+        """The ``n`` most utilized router channels."""
+        return sorted(
+            self.link_stats(cycle), key=lambda s: s.flits, reverse=True
+        )[:n]
+
+    def oversubscription_ratio(self, cycle: int) -> float:
+        """max/mean link load: ~1 for balanced traffic, large for funnels."""
+        stats = self.link_stats(cycle)
+        loads = [s.flits for s in stats]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    # ------------------------------------------------------------------
+    # Instantaneous state
+    # ------------------------------------------------------------------
+
+    def buffer_occupancy(self) -> dict[str, float]:
+        """Mean and max input-VC occupancy across the network, in flits."""
+        occ = []
+        for r in self.network.routers:
+            for iu in r.inputs:
+                for vc in iu.vcs:
+                    occ.append(vc.occupancy)
+        if not occ:
+            return {"mean": 0.0, "max": 0.0}
+        return {"mean": sum(occ) / len(occ), "max": float(max(occ))}
+
+    def vc_occupancy_by_class(self) -> dict[int, int]:
+        """Total buffered flits per resource class (VC-map aware)."""
+        vc_map = self.network.vc_map
+        out = {k: 0 for k in range(vc_map.num_classes)}
+        for r in self.network.routers:
+            for iu in r.inputs:
+                for vc_id, vc in enumerate(iu.vcs):
+                    out[vc_map.class_of(vc_id)] += vc.occupancy
+        return out

@@ -1,0 +1,121 @@
+"""Core datatypes of the flit-level simulator: packets, flits, credits.
+
+The simulator models *flit-granularity* transfer with credit-based virtual-
+channel flow control, matching the modelling level of the paper's SuperSim
+simulator.  A :class:`Packet` is injected by a terminal, segmented into
+:class:`Flit` s, wormhole-routed through the network, and reassembled at the
+destination terminal.  A :class:`Message` groups packets for the application
+model (halo exchanges, collectives).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_packet_ids = itertools.count()
+
+
+def _next_packet_id() -> int:
+    return next(_packet_ids)
+
+
+@dataclass
+class Message:
+    """An application-level message, segmented into one or more packets.
+
+    Used by :mod:`repro.application`; synthetic traffic uses bare packets.
+    """
+
+    src_terminal: int
+    dst_terminal: int
+    size_flits: int
+    tag: Any = None
+    create_cycle: int = 0
+    packets_total: int = 0
+    packets_delivered: int = 0
+    deliver_cycle: int | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.packets_total > 0 and self.packets_delivered >= self.packets_total
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    ``routing_state`` is scratch space used by routing algorithms that must
+    carry state in the packet (UGAL / Clos-AD / Valiant intermediate
+    addresses).  DimWAR and OmniWAR never touch it — their entire routing
+    state is encoded in the VC identifier, which is the paper's practicality
+    claim (Table 1: "Packet Contents: none").
+    """
+
+    src_terminal: int
+    dst_terminal: int
+    size: int  # flits, head and tail inclusive
+    create_cycle: int
+    pid: int = field(default_factory=_next_packet_id)
+    message: Message | None = None
+    # -- telemetry ---------------------------------------------------------
+    inject_cycle: int | None = None  # head flit left the terminal
+    eject_cycle: int | None = None  # tail flit consumed at destination
+    hops: int = 0  # router-to-router hops taken
+    deroutes: int = 0  # non-minimal hops taken
+    vc_trace: list[int] | None = None  # per-hop VCs (enabled for debugging)
+    port_trace: list[int] | None = None  # per-hop output ports
+    # -- algorithm scratch space (counts against Table 1 "packet contents") --
+    routing_state: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("packet size must be >= 1 flit")
+
+    @property
+    def age_key(self) -> tuple[int, int]:
+        """Sort key for age-based arbitration (older packets first)."""
+        return (self.create_cycle, self.pid)
+
+    @property
+    def latency(self) -> int | None:
+        """Total packet latency (creation to tail ejection), if delivered."""
+        if self.eject_cycle is None:
+            return None
+        return self.eject_cycle - self.create_cycle
+
+    def flits(self) -> list["Flit"]:
+        """Segment the packet into its flits."""
+        return [Flit(self, i) for i in range(self.size)]
+
+
+class Flit:
+    """One flit of a packet.  Lightweight: hot-path object."""
+
+    __slots__ = ("packet", "index")
+
+    def __init__(self, packet: Packet, index: int):
+        self.packet = packet
+        self.index = index
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.size - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        if self.is_head and self.is_tail:
+            kind = "HT"
+        return f"Flit(p{self.packet.pid}#{self.index}{kind})"
+
+
+@dataclass(frozen=True)
+class Credit:
+    """A credit returned upstream when a buffer slot frees."""
+
+    vc: int

@@ -1,0 +1,134 @@
+"""Topology abstraction used by the network builder and routing algorithms.
+
+A topology describes routers, the ports on each router, the router-to-router
+channels, and the attachment of terminals (network endpoints) to routers.
+Routers are identified by dense integer ids ``0..num_routers-1``; terminals by
+dense integer ids ``0..num_terminals-1``.  Each router exposes ``radix(r)``
+ports numbered ``0..radix(r)-1``; a port either connects to a peer router port
+or to a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class RouterPort:
+    """Identifies one port of one router."""
+
+    router: int
+    port: int
+
+
+@dataclass(frozen=True)
+class PortPeer:
+    """What sits on the far side of a router port.
+
+    Exactly one of ``router_port`` / ``terminal`` is set.
+    """
+
+    router_port: RouterPort | None = None
+    terminal: int | None = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.terminal is not None
+
+    @property
+    def is_router(self) -> bool:
+        return self.router_port is not None
+
+
+class Topology:
+    """Base class for all topologies.
+
+    Subclasses must implement :meth:`num_routers`, :meth:`num_terminals`,
+    :meth:`radix`, :meth:`peer`, :meth:`terminal_attachment`, and
+    :meth:`min_hops`.
+    """
+
+    name: str = "topology"
+
+    @property
+    def num_routers(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_terminals(self) -> int:
+        raise NotImplementedError
+
+    def radix(self, router: int) -> int:
+        """Number of ports on ``router`` (router-facing plus terminal-facing)."""
+        raise NotImplementedError
+
+    def peer(self, router: int, port: int) -> PortPeer:
+        """Return the peer of port ``port`` on ``router``."""
+        raise NotImplementedError
+
+    def terminal_attachment(self, terminal: int) -> RouterPort:
+        """Return the (router, port) a terminal is cabled to."""
+        raise NotImplementedError
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        """Minimal router-to-router hop count (0 when ``src == dst``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derived helpers shared by all topologies.
+    # ------------------------------------------------------------------
+
+    def router_of_terminal(self, terminal: int) -> int:
+        return self.terminal_attachment(terminal).router
+
+    def router_ports(self, router: int) -> Iterator[tuple[int, PortPeer]]:
+        """Iterate ``(port, peer)`` pairs for every port of ``router``."""
+        for port in range(self.radix(router)):
+            yield port, self.peer(router, port)
+
+    def router_channels(self) -> Iterator[tuple[RouterPort, RouterPort]]:
+        """Iterate all directed router-to-router channels as (src, dst) ports."""
+        for r in range(self.num_routers):
+            for port, peer in self.router_ports(r):
+                if peer.is_router:
+                    yield RouterPort(r, port), peer.router_port
+
+    def diameter(self) -> int:
+        """Network diameter in router-to-router hops (brute force; small nets)."""
+        best = 0
+        for a in range(self.num_routers):
+            for b in range(self.num_routers):
+                best = max(best, self.min_hops(a, b))
+        return best
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on violation.
+
+        * every router port has a peer and peering is symmetric,
+        * every terminal is attached to a router port that points back at it,
+        * terminal ids are dense.
+        """
+        for r in range(self.num_routers):
+            for port, peer in self.router_ports(r):
+                if peer.is_router:
+                    rp = peer.router_port
+                    back = self.peer(rp.router, rp.port)
+                    assert back.is_router, (
+                        f"asymmetric channel at router {r} port {port}"
+                    )
+                    assert back.router_port == RouterPort(r, port), (
+                        f"peer of peer mismatch at router {r} port {port}"
+                    )
+                else:
+                    t = peer.terminal
+                    att = self.terminal_attachment(t)
+                    assert att == RouterPort(r, port), (
+                        f"terminal {t} attachment mismatch"
+                    )
+        for t in range(self.num_terminals):
+            att = self.terminal_attachment(t)
+            peer = self.peer(att.router, att.port)
+            assert peer.is_terminal and peer.terminal == t, (
+                f"terminal {t} not found at its attachment"
+            )

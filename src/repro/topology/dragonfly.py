@@ -1,0 +1,177 @@
+"""Dragonfly topology (Kim, Dally, Scott, Abts — ISCA '08).
+
+Routers are grouped; routers within a group are fully connected by *local*
+channels, and each router drives ``h`` *global* channels to other groups.  A
+packet's minimal path is local-global-local (diameter 3).
+
+Parameters (canonical balanced sizing ``a = 2p = 2h``):
+
+``p``  terminals per router,
+``a``  routers per group,
+``h``  global channels per router,
+``g``  number of groups; this implementation builds the canonical
+       maximum-size Dragonfly ``g = a*h + 1``.
+
+Global channels use the *relative* arrangement: global channel ``j`` of group
+``G`` (``j = local*h + k``) connects to group ``(G + j + 1) mod g``, which
+pairs bijectively with channel ``a*h - 1 - j`` of the destination group.
+
+Port layout per router: ``[0, a-1)`` local, ``[a-1, a-1+h)`` global,
+``[a-1+h, radix)`` terminals.
+
+This is the comparison baseline of the paper's Figure 4 (27-point stencil on
+Fat Tree vs Dragonfly vs HyperX).
+"""
+
+from __future__ import annotations
+
+from .base import PortPeer, RouterPort, Topology
+
+
+class Dragonfly(Topology):
+    """Canonical maximum-size Dragonfly."""
+
+    name = "dragonfly"
+
+    def __init__(self, p: int, a: int, h: int):
+        if p < 1 or a < 2 or h < 1:
+            raise ValueError("need p >= 1, a >= 2, h >= 1")
+        self.p, self.a, self.h = p, a, h
+        self.g = a * h + 1
+        self._radix = (a - 1) + h + p
+        self._local_ports = a - 1
+        self._global_ports = h
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return self.g
+
+    @property
+    def num_routers(self) -> int:
+        return self.g * self.a
+
+    @property
+    def num_terminals(self) -> int:
+        return self.num_routers * self.p
+
+    def radix(self, router: int) -> int:
+        return self._radix
+
+    def group_of(self, router: int) -> int:
+        return router // self.a
+
+    def local_of(self, router: int) -> int:
+        return router % self.a
+
+    def router_id(self, group: int, local: int) -> int:
+        if not (0 <= group < self.g and 0 <= local < self.a):
+            raise ValueError("group/local out of range")
+        return group * self.a + local
+
+    # -- port classification -------------------------------------------
+
+    def is_local_port(self, port: int) -> bool:
+        return port < self._local_ports
+
+    def is_global_port(self, port: int) -> bool:
+        return self._local_ports <= port < self._local_ports + self._global_ports
+
+    def is_terminal_port(self, port: int) -> bool:
+        return port >= self._local_ports + self._global_ports
+
+    def local_port(self, router: int, target_local: int) -> int:
+        """Port to reach ``target_local`` within the router's own group."""
+        own = self.local_of(router)
+        if target_local == own:
+            raise ValueError("no self port")
+        if not 0 <= target_local < self.a:
+            raise ValueError("local index out of range")
+        return target_local if target_local < own else target_local - 1
+
+    def global_port(self, router: int, k: int) -> int:
+        """The router's k-th global channel port (k in [0, h))."""
+        if not 0 <= k < self.h:
+            raise ValueError("global channel index out of range")
+        return self._local_ports + k
+
+    def terminal_port(self, local_terminal: int) -> int:
+        if not 0 <= local_terminal < self.p:
+            raise ValueError("local terminal index out of range")
+        return self._local_ports + self._global_ports + local_terminal
+
+    # -- global-channel arrangement --------------------------------------
+
+    def global_channel_index(self, router: int, k: int) -> int:
+        """Group-wide index j of the router's k-th global channel."""
+        return self.local_of(router) * self.h + k
+
+    def global_peer_group(self, group: int, j: int) -> int:
+        return (group + j + 1) % self.g
+
+    def global_channel_to_group(self, src_group: int, dst_group: int) -> int:
+        """The group-wide global-channel index j reaching ``dst_group``."""
+        if src_group == dst_group:
+            raise ValueError("groups are not connected to themselves")
+        j = (dst_group - src_group - 1) % self.g
+        assert 0 <= j < self.a * self.h
+        return j
+
+    def gateway_router(self, src_group: int, dst_group: int) -> tuple[int, int]:
+        """(router, k) of the global channel from ``src_group`` to ``dst_group``."""
+        j = self.global_channel_to_group(src_group, dst_group)
+        local, k = divmod(j, self.h)
+        return self.router_id(src_group, local), k
+
+    # ------------------------------------------------------------------
+
+    def peer(self, router: int, port: int) -> PortPeer:
+        if not 0 <= port < self._radix:
+            raise ValueError(f"port {port} out of range")
+        if self.is_local_port(port):
+            own = self.local_of(router)
+            target = port if port < own else port + 1
+            nbr = self.router_id(self.group_of(router), target)
+            return PortPeer(router_port=RouterPort(nbr, self.local_port(nbr, own)))
+        if self.is_global_port(port):
+            k = port - self._local_ports
+            group = self.group_of(router)
+            j = self.global_channel_index(router, k)
+            dst_group = self.global_peer_group(group, j)
+            j_back = (group - dst_group - 1) % self.g
+            local_back, k_back = divmod(j_back, self.h)
+            nbr = self.router_id(dst_group, local_back)
+            return PortPeer(
+                router_port=RouterPort(nbr, self.global_port(nbr, k_back))
+            )
+        local_t = port - self._local_ports - self._global_ports
+        return PortPeer(terminal=router * self.p + local_t)
+
+    def terminal_attachment(self, terminal: int) -> RouterPort:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError("terminal id out of range")
+        router, local = divmod(terminal, self.p)
+        return RouterPort(router, self.terminal_port(local))
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        if src_router == dst_router:
+            return 0
+        gs, gd = self.group_of(src_router), self.group_of(dst_router)
+        if gs == gd:
+            return 1  # groups are fully connected
+        gw_src, _ = self.gateway_router(gs, gd)
+        gw_dst, _ = self.gateway_router(gd, gs)
+        hops = 1  # the global hop
+        if gw_src != src_router:
+            hops += 1
+        if gw_dst != dst_router:
+            hops += 1
+        return hops
+
+
+def balanced_dragonfly(h: int) -> Dragonfly:
+    """Canonical balanced Dragonfly: a = 2h routers/group, p = h terminals."""
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    return Dragonfly(p=h, a=2 * h, h=h)

@@ -1,0 +1,173 @@
+"""k-ary n-tree fat tree (folded Clos) topology, with optional edge taper.
+
+The classic HPC fat tree: ``n`` switch levels, ``n * k^(n-1)`` switches.
+Each switch has ``k`` down-ports and (except the top level) ``k`` up-ports.
+Leaf switches host the terminals; with ``leaf_factor = m`` every leaf hosts
+``m * k`` terminals over ``k`` up-links — ``m = 1`` is the full-bisection
+k-ary n-tree (``k^n`` terminals), ``m = 2`` the common 2:1 edge-
+oversubscribed build whose cost (and ~50% bisection) is comparable to the
+paper's HyperX and Dragonfly configurations (used by the Figure 4
+head-to-head).
+
+Addressing: a switch is ``(level, w)`` with ``w`` an (n-1)-digit base-k
+word; switch ``(l, w)`` and ``(l-1, w')`` are connected iff ``w`` and ``w'``
+agree in every digit except digit ``l-1``.  Switch ``(l, w)`` reaches
+exactly the terminals whose leaf-word digits at positions ``l..n-2`` match
+``w`` — the subtree used by up/down routing.
+
+Port layout: down-ports ``[0, D)`` (``D = m*k`` at leaves, ``k`` above),
+up-ports ``[D, D+k)``.
+"""
+
+from __future__ import annotations
+
+from .base import PortPeer, RouterPort, Topology
+
+
+class FatTree(Topology):
+    """A k-ary n-tree, optionally edge-oversubscribed by ``leaf_factor``."""
+
+    name = "fattree"
+
+    def __init__(self, k: int, n: int, leaf_factor: int = 1):
+        if k < 2 or n < 1:
+            raise ValueError("need arity k >= 2 and levels n >= 1")
+        if leaf_factor < 1:
+            raise ValueError("leaf_factor must be >= 1")
+        self.k, self.n = k, n
+        self.leaf_factor = leaf_factor
+        self._switches_per_level = k ** (n - 1)
+        self._leaf_down = leaf_factor * k
+        self._num_terminals = leaf_factor * k**n
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        return self.n * self._switches_per_level
+
+    @property
+    def num_terminals(self) -> int:
+        return self._num_terminals
+
+    @property
+    def levels(self) -> int:
+        return self.n
+
+    def down_degree(self, level: int) -> int:
+        """Number of down-ports at ``level`` (terminals at the leaves)."""
+        return self._leaf_down if level == 0 else self.k
+
+    def radix(self, router: int) -> int:
+        level, _ = self.level_word(router)
+        down = self.down_degree(level)
+        return down if level == self.n - 1 else down + self.k
+
+    # -- switch addressing ----------------------------------------------
+
+    def level_word(self, router: int) -> tuple[int, tuple[int, ...]]:
+        level, idx = divmod(router, self._switches_per_level)
+        if not 0 <= level < self.n:
+            raise ValueError("router id out of range")
+        return level, self._digits(idx, self.n - 1)
+
+    def switch_id(self, level: int, word: tuple[int, ...]) -> int:
+        if not 0 <= level < self.n or len(word) != self.n - 1:
+            raise ValueError("bad switch address")
+        return level * self._switches_per_level + self._value(word)
+
+    def _digits(self, value: int, n: int) -> tuple[int, ...]:
+        out = []
+        for _ in range(n):
+            out.append(value % self.k)
+            value //= self.k
+        return tuple(out)  # digit 0 first
+
+    def _value(self, digits: tuple[int, ...]) -> int:
+        v = 0
+        for d in reversed(digits):
+            v = v * self.k + d
+        return v
+
+    # -- ports ------------------------------------------------------------
+
+    def is_up_port(self, router: int, port: int) -> bool:
+        level, _ = self.level_word(router)
+        return port >= self.down_degree(level)
+
+    def down_port(self, digit: int) -> int:
+        if digit < 0:
+            raise ValueError("digit out of range")
+        return digit
+
+    def up_port(self, router: int, j: int) -> int:
+        if not 0 <= j < self.k:
+            raise ValueError("up port index out of range")
+        level, _ = self.level_word(router)
+        return self.down_degree(level) + j
+
+    def peer(self, router: int, port: int) -> PortPeer:
+        level, word = self.level_word(router)
+        if port < 0 or port >= self.radix(router):
+            raise ValueError(f"port {port} out of range")
+        down = self.down_degree(level)
+        if port < down:  # down
+            if level == 0:
+                return PortPeer(terminal=self._value(word) * down + port)
+            child_word = list(word)
+            my_digit = child_word[level - 1]
+            child_word[level - 1] = port
+            child = self.switch_id(level - 1, tuple(child_word))
+            return PortPeer(
+                router_port=RouterPort(child, self.up_port(child, my_digit))
+            )
+        j = port - down  # up
+        parent_word = list(word)
+        my_digit = parent_word[level]
+        parent_word[level] = j
+        parent = self.switch_id(level + 1, tuple(parent_word))
+        return PortPeer(router_port=RouterPort(parent, self.down_port(my_digit)))
+
+    def terminal_attachment(self, terminal: int) -> RouterPort:
+        if not 0 <= terminal < self._num_terminals:
+            raise ValueError("terminal id out of range")
+        leaf, port = divmod(terminal, self._leaf_down)
+        return RouterPort(self.switch_id(0, self._digits(leaf, self.n - 1)), port)
+
+    # -- routing geometry -------------------------------------------------
+
+    def covers(self, router: int, terminal: int) -> bool:
+        """True when ``terminal`` is in the switch's down subtree."""
+        level, word = self.level_word(router)
+        leaf_word = self._digits(terminal // self._leaf_down, self.n - 1)
+        return all(word[i] == leaf_word[i] for i in range(level, self.n - 1))
+
+    def down_digit(self, router: int, terminal: int) -> int:
+        """Down-port toward ``terminal`` (must be covered)."""
+        level, _ = self.level_word(router)
+        if level == 0:
+            return terminal % self._leaf_down
+        return self._digits(terminal // self._leaf_down, self.n - 1)[level - 1]
+
+    def nca_level(self, t1: int, t2: int) -> int:
+        """Level of the nearest common ancestor switches of two terminals."""
+        if t1 // self._leaf_down == t2 // self._leaf_down:
+            return 0
+        w1 = self._digits(t1 // self._leaf_down, self.n - 1)
+        w2 = self._digits(t2 // self._leaf_down, self.n - 1)
+        for level in range(1, self.n):
+            if all(w1[i] == w2[i] for i in range(level, self.n - 1)):
+                return level
+        return self.n - 1
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        if src_router == dst_router:
+            return 0
+        l1, w1 = self.level_word(src_router)
+        l2, w2 = self.level_word(dst_router)
+        # Meeting level L: going up frees digits below L, so the switches can
+        # meet at L iff their words agree on every digit >= L.
+        for level in range(max(l1, l2), self.n):
+            if all(w1[i] == w2[i] for i in range(level, self.n - 1)):
+                return (level - l1) + (level - l2)
+        return (self.n - 1 - l1) + (self.n - 1 - l2)

@@ -1,0 +1,187 @@
+"""Topology scalability models (the paper's Figure 2).
+
+For a given router radix, compute the maximum number of network endpoints
+each topology family can reach:
+
+* **HyperX (L dims)** — maximize ``prod(w_i) * T`` subject to
+  ``sum(w_i - 1) + T <= radix`` over integer widths (possibly mixed) and
+  terminal count.  Reproduces the paper's quoted 64-port figures: 10,648
+  nodes in 2D, 78,608 in 3D, and 463,736 in 4D (the 4D optimum uses mixed
+  widths 14,14,13,13 with 14 terminals).
+* **Dragonfly (diameter 3)** — balanced ``a = 2p = 2h`` maximum-size build:
+  ``N = a * p * g`` with ``g = a*h + 1``.
+* **Fat tree (3 levels)** — folded Clos: ``N = 2 * (k/2)^2 * k = k^3 / 4``.
+* **SlimFly (diameter 2)** — MMS-graph based: ``2 q^2`` routers of network
+  radix ``(3q - delta) / 2`` for a prime power ``q = (2/3)(2w + delta)``,
+  with the standard ``p = ceil(k'/2)`` endpoints per router.
+* **HyperCube** — the HyperX special case with all widths 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    topology: str
+    diameter: int
+    radix: int
+    nodes: int
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# HyperX
+# ---------------------------------------------------------------------------
+
+
+def hyperx_max_nodes(radix: int, dims: int) -> tuple[int, tuple[int, ...], int]:
+    """(nodes, widths, terminals) of the best HyperX of ``dims`` dimensions.
+
+    Searches integer width vectors (non-increasing, mixed widths allowed)
+    around the continuous optimum ``w* ~ (radix + dims) * L / (L+1) / L``.
+    """
+    if radix < dims + 1:
+        return (0, (), 0)
+    # continuous optimum of w^L * (radix - L(w-1)) in w
+    w_star = (radix + dims) / (dims + 1)
+    lo = max(2, int(w_star) - 3)
+    hi = int(w_star) + 3
+    best = (0, (), 0)
+    for widths in itertools.combinations_with_replacement(
+        range(hi, lo - 1, -1), dims
+    ):
+        ports = sum(w - 1 for w in widths)
+        terminals = radix - ports
+        if terminals < 1:
+            continue
+        nodes = math.prod(widths) * terminals
+        if nodes > best[0]:
+            best = (nodes, widths, terminals)
+    return best
+
+
+def hypercube_max_nodes(radix: int) -> tuple[int, int, int]:
+    """(nodes, dims, terminals) for the best HyperCube (all widths 2)."""
+    best = (0, 0, 0)
+    for dims in range(1, radix):
+        terminals = radix - dims
+        if terminals < 1:
+            break
+        nodes = (1 << dims) * terminals
+        if nodes > best[0]:
+            best = (nodes, dims, terminals)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Dragonfly
+# ---------------------------------------------------------------------------
+
+
+def dragonfly_max_nodes(radix: int) -> tuple[int, int]:
+    """(nodes, h) for the balanced maximum-size Dragonfly: radix = 4h - 1."""
+    h = (radix + 1) // 4
+    if h < 1:
+        return (0, 0)
+    a, p = 2 * h, h
+    g = a * h + 1
+    return (a * p * g, h)
+
+
+# ---------------------------------------------------------------------------
+# Fat tree
+# ---------------------------------------------------------------------------
+
+
+def fattree_max_nodes(radix: int, levels: int = 3) -> int:
+    """Folded-Clos fat tree with ``levels`` switch tiers: N = 2 (k/2)^levels."""
+    half = radix // 2
+    if half < 1:
+        return 0
+    return 2 * half**levels
+
+
+# ---------------------------------------------------------------------------
+# SlimFly
+# ---------------------------------------------------------------------------
+
+
+def _is_prime_power(q: int) -> bool:
+    if q < 2:
+        return False
+    for p in range(2, int(math.isqrt(q)) + 1):
+        if q % p == 0:
+            while q % p == 0:
+                q //= p
+            return q == 1
+    return True  # q itself is prime
+
+
+def slimfly_max_nodes(radix: int) -> tuple[int, int]:
+    """(nodes, q) for the largest MMS SlimFly fitting in ``radix`` ports.
+
+    Network radix ``k' = (3q - delta)/2`` with ``q = 4w + delta`` a prime
+    power (delta in {-1, 0, 1}); concentration ``p = ceil(k'/2)`` as in the
+    Besta & Hoefler construction.  Requires ``k' + p <= radix``.
+    """
+    best = (0, 0)
+    for q in range(2, 2 * radix):
+        if not _is_prime_power(q):
+            continue
+        if (q - 1) % 4 == 0:
+            delta = 1
+        elif (q + 1) % 4 == 0:
+            delta = -1
+        elif q % 4 == 0:
+            delta = 0
+        else:
+            continue
+        k_net = (3 * q - delta) // 2
+        p = math.ceil(k_net / 2)
+        if k_net + p > radix:
+            continue
+        nodes = 2 * q * q * p
+        if nodes > best[0]:
+            best = (nodes, q)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+
+def figure2_points(radix: int) -> list[ScalePoint]:
+    """All Figure 2 series at one router radix."""
+    out = []
+    for dims in (2, 3, 4):
+        nodes, widths, t = hyperx_max_nodes(radix, dims)
+        out.append(
+            ScalePoint(
+                f"HyperX-{dims}", dims, radix, nodes, f"widths={widths} T={t}"
+            )
+        )
+    n, h = dragonfly_max_nodes(radix)
+    out.append(ScalePoint("Dragonfly-3", 3, radix, n, f"h={h}"))
+    out.append(
+        ScalePoint("FatTree-3", 4, radix, fattree_max_nodes(radix, 3), "folded Clos")
+    )
+    n, q = slimfly_max_nodes(radix)
+    out.append(ScalePoint("SlimFly-2", 2, radix, n, f"q={q}"))
+    # HyperCube (HyperX with all widths 2) is omitted from the figure: its
+    # node count is unbounded only because its diameter grows without limit,
+    # which is outside the low-diameter regime Figure 2 compares.
+    return out
+
+
+def figure2_table(radices: list[int] | None = None) -> list[ScalePoint]:
+    """The full Figure 2 sweep (radix 16..128 by default)."""
+    radices = radices or [16, 24, 32, 48, 64, 96, 128]
+    points = []
+    for r in radices:
+        points.extend(figure2_points(r))
+    return points

@@ -1,0 +1,192 @@
+"""Torus and mesh topologies (k-ary n-cubes).
+
+Section 2.1 of the paper grounds its deadlock-avoidance taxonomy in these
+classic networks: dimension-order routing on a mesh needs only *restricted
+routes*; a torus adds structural ring cycles that *dateline resource
+classes* break (Dally & Seitz's torus routing chip).  We implement both so
+the resource-class machinery the paper builds DimWAR upon can be
+demonstrated and tested on the networks it originated from.
+
+Port layout per router: for dimension ``d``, the ``+`` neighbour then the
+``-`` neighbour (mesh border routers simply omit the missing ones), then
+the terminal ports.  Terminals attach as in HyperX: ``t = router * T +
+local``.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from .base import PortPeer, RouterPort, Topology
+
+
+class Torus(Topology):
+    """A k-ary n-cube; ``wrap=False`` degrades it to a mesh."""
+
+    name = "torus"
+
+    def __init__(
+        self,
+        widths: tuple[int, ...] | list[int],
+        terminals_per_router: int,
+        wrap: bool = True,
+    ):
+        widths = tuple(int(w) for w in widths)
+        if not widths or any(w < 2 for w in widths):
+            raise ValueError("every dimension width must be >= 2")
+        if terminals_per_router < 1:
+            raise ValueError("terminals_per_router must be >= 1")
+        self.widths = widths
+        self.terminals_per_router = int(terminals_per_router)
+        self.wrap = wrap
+        if not wrap:
+            self.name = "mesh"
+        self.num_dims = len(widths)
+        self._num_routers = reduce(lambda a, b: a * b, widths, 1)
+        self._strides = []
+        s = 1
+        for w in widths:
+            self._strides.append(s)
+            s *= w
+        # Per-router port tables: port -> (dim, direction, neighbour router).
+        self._ports: list[list[tuple[int, int, int]]] = []
+        self._port_index: list[dict[tuple[int, int], int]] = []
+        for r in range(self._num_routers):
+            plist: list[tuple[int, int, int]] = []
+            pidx: dict[tuple[int, int], int] = {}
+            c = self.coords(r)
+            for d, w in enumerate(widths):
+                for direction in (+1, -1):
+                    nc = c[d] + direction
+                    if wrap:
+                        nc %= w
+                    elif not 0 <= nc < w:
+                        continue  # mesh border
+                    if w == 2 and direction == -1 and wrap:
+                        continue  # width-2 ring: one physical neighbour
+                    nn = list(c)
+                    nn[d] = nc
+                    pidx[(d, direction)] = len(plist)
+                    plist.append((d, direction, self.router_id(nn)))
+            self._ports.append(plist)
+            self._port_index.append(pidx)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        return self._num_routers
+
+    @property
+    def num_terminals(self) -> int:
+        return self._num_routers * self.terminals_per_router
+
+    def radix(self, router: int) -> int:
+        return len(self._ports[router]) + self.terminals_per_router
+
+    def coords(self, router: int) -> tuple[int, ...]:
+        out = []
+        for w in self.widths:
+            out.append(router % w)
+            router //= w
+        return tuple(out)
+
+    def router_id(self, coords) -> int:
+        rid = 0
+        for c, w, s in zip(coords, self.widths, self._strides):
+            if not 0 <= c < w:
+                raise ValueError(f"coordinate {c} out of range [0,{w})")
+            rid += c * s
+        return rid
+
+    # -- ports ------------------------------------------------------------
+
+    def num_router_ports(self, router: int) -> int:
+        return len(self._ports[router])
+
+    def dir_port(self, router: int, dim: int, direction: int) -> int:
+        """Port toward the ``direction`` (+1/-1) neighbour in ``dim``."""
+        try:
+            return self._port_index[router][(dim, direction)]
+        except KeyError:
+            raise ValueError(
+                f"router {router} has no {direction:+d} neighbour in dim {dim}"
+            ) from None
+
+    def port_info(self, router: int, port: int) -> tuple[int, int, int]:
+        """(dim, direction, neighbour) of a router-facing port."""
+        if not 0 <= port < len(self._ports[router]):
+            raise ValueError(f"port {port} is not a router-facing port")
+        return self._ports[router][port]
+
+    def terminal_port(self, local_terminal: int) -> int:
+        # NOTE: only meaningful per router (meshes have variable radix);
+        # callers must add the router's own router-port count.
+        raise NotImplementedError("use terminal_port_of(router, local)")
+
+    def terminal_port_of(self, router: int, local_terminal: int) -> int:
+        if not 0 <= local_terminal < self.terminals_per_router:
+            raise ValueError("local terminal index out of range")
+        return len(self._ports[router]) + local_terminal
+
+    def is_terminal_port(self, router: int, port: int) -> bool:
+        return port >= len(self._ports[router])
+
+    def peer(self, router: int, port: int) -> PortPeer:
+        nports = len(self._ports[router])
+        if port < 0 or port >= nports + self.terminals_per_router:
+            raise ValueError(f"port {port} out of range")
+        if port >= nports:
+            local = port - nports
+            return PortPeer(
+                terminal=router * self.terminals_per_router + local
+            )
+        dim, direction, nbr = self._ports[router][port]
+        # width-2 wrapped rings collapse +1/-1 onto the same neighbour;
+        # pair their single ports directly
+        if (dim, -direction) in self._port_index[nbr]:
+            back = self.dir_port(nbr, dim, -direction)
+        else:
+            back = self.dir_port(nbr, dim, direction)
+        return PortPeer(router_port=RouterPort(nbr, back))
+
+    def terminal_attachment(self, terminal: int) -> RouterPort:
+        if not 0 <= terminal < self.num_terminals:
+            raise ValueError("terminal id out of range")
+        router, local = divmod(terminal, self.terminals_per_router)
+        return RouterPort(router, self.terminal_port_of(router, local))
+
+    # -- distances ---------------------------------------------------------
+
+    def dim_distance(self, dim: int, a: int, b: int) -> int:
+        """Hops needed in ``dim`` from coordinate ``a`` to ``b``."""
+        if a == b:
+            return 0
+        if not self.wrap:
+            return abs(a - b)
+        w = self.widths[dim]
+        fwd = (b - a) % w
+        return min(fwd, w - fwd)
+
+    def dim_direction(self, dim: int, a: int, b: int) -> int:
+        """Minimal travel direction (+1/-1) in ``dim``; +1 breaks ties."""
+        if a == b:
+            raise ValueError("already aligned")
+        if not self.wrap:
+            return 1 if b > a else -1
+        w = self.widths[dim]
+        fwd = (b - a) % w
+        return 1 if fwd <= w - fwd else -1
+
+    def min_hops(self, src_router: int, dst_router: int) -> int:
+        a, b = self.coords(src_router), self.coords(dst_router)
+        return sum(self.dim_distance(d, x, y) for d, (x, y) in enumerate(zip(a, b)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "Torus" if self.wrap else "Mesh"
+        return f"{kind}(widths={self.widths}, T={self.terminals_per_router})"
+
+
+def mesh(widths, terminals_per_router: int) -> Torus:
+    """Convenience constructor for a mesh (no wraparound)."""
+    return Torus(widths, terminals_per_router, wrap=False)

@@ -1,0 +1,39 @@
+"""Synthetic traffic: the paper's Table 3 patterns, sizes, and injection."""
+
+from .base import TrafficPattern
+from .injection import BurstyTraffic, SyntheticTraffic
+from .patterns import (
+    BitComplement,
+    DimensionComplementReverse,
+    Hotspot,
+    RandomPermutation,
+    Swap2,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    UniformRandomBisection,
+    paper_patterns,
+)
+from .switching import PhasedTraffic
+from .sizes import BimodalSize, FixedSize, SizeDistribution, UniformSize
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "BitComplement",
+    "UniformRandomBisection",
+    "Swap2",
+    "DimensionComplementReverse",
+    "Tornado",
+    "Transpose",
+    "RandomPermutation",
+    "Hotspot",
+    "paper_patterns",
+    "SizeDistribution",
+    "FixedSize",
+    "UniformSize",
+    "BimodalSize",
+    "SyntheticTraffic",
+    "BurstyTraffic",
+    "PhasedTraffic",
+]

@@ -1,0 +1,35 @@
+"""Traffic-pattern interface.
+
+A :class:`TrafficPattern` maps a source terminal to a destination terminal.
+Deterministic patterns (bit complement, swap2) ignore the generator; random
+patterns (uniform random, URB, DCR) use it.  Patterns that need topology
+structure take the :class:`~repro.topology.hyperx.HyperX` instance so they can
+work on router coordinates, matching Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TrafficPattern:
+    """Maps source terminals to destination terminals."""
+
+    name: str = "pattern"
+
+    def __init__(self, num_terminals: int):
+        if num_terminals < 2:
+            raise ValueError("need at least two terminals")
+        self.num_terminals = num_terminals
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        """Destination terminal for one packet from ``src``."""
+        raise NotImplementedError
+
+    def is_deterministic(self) -> bool:
+        """True when ``dest`` ignores the RNG (fixed permutation traffic)."""
+        return False
+
+    def _check_src(self, src: int) -> None:
+        if not 0 <= src < self.num_terminals:
+            raise ValueError(f"source terminal {src} out of range")

@@ -1,0 +1,148 @@
+"""Open-loop synthetic injection process.
+
+Each terminal independently starts a new packet each cycle with probability
+``rate / mean_packet_size``, so that the *offered load* equals ``rate`` flits
+per cycle per terminal (1.0 = terminal-channel capacity).  Generation is
+open-loop: packets keep accumulating in the source queue even when the
+network cannot accept them, which is what the saturation detector observes.
+
+The per-cycle Bernoulli draws are vectorized over terminals with NumPy (the
+generation loop showed up in profiles of early versions; see the optimization
+guide's "vectorize the measured bottleneck" rule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..network.types import Packet
+from .base import TrafficPattern
+from .sizes import SizeDistribution, UniformSize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+
+class SyntheticTraffic:
+    """A simulator process generating synthetic traffic on every terminal."""
+
+    def __init__(
+        self,
+        network: "Network",
+        pattern: TrafficPattern,
+        rate: float,
+        size_dist: SizeDistribution | None = None,
+        seed: int = 1,
+        warmup_mark: int = 0,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("offered rate is in flits/cycle/terminal, [0, 1]")
+        if pattern.num_terminals != network.topology.num_terminals:
+            raise ValueError("pattern sized for a different network")
+        self.network = network
+        self.pattern = pattern
+        self.rate = rate
+        self.size_dist = size_dist or UniformSize(1, 16)
+        self.rng = np.random.default_rng(seed)
+        self.enabled = True
+        self.packets_generated = 0
+        self.flits_generated = 0
+        self._num_terminals = network.topology.num_terminals
+        self._p = rate / self.size_dist.mean
+
+    def __call__(self, cycle: int) -> None:
+        if not self.enabled or self._p <= 0.0:
+            return
+        draws = self.rng.random(self._num_terminals)
+        for src in np.nonzero(draws < self._p)[0]:
+            src = int(src)
+            dst = self.pattern.dest(src, self.rng)
+            size = self.size_dist.sample(self.rng)
+            pkt = Packet(src, dst, size, create_cycle=cycle)
+            self.network.terminals[src].offer(pkt)
+            self.packets_generated += 1
+            self.flits_generated += size
+
+    def stop(self) -> None:
+        self.enabled = False
+
+
+class BurstyTraffic:
+    """On/off (two-state Markov) injection process.
+
+    Each terminal alternates between an *on* state, injecting at
+    ``rate / duty_cycle`` (capped at channel rate), and an *off* state,
+    injecting nothing; state dwell times are geometric with mean
+    ``burst_length`` (on) and ``burst_length * (1 - duty) / duty`` (off),
+    so the long-run offered load equals ``rate``.  Burstiness stresses the
+    adaptive algorithms' transient behaviour beyond what the Bernoulli
+    process of :class:`SyntheticTraffic` exercises.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        pattern: TrafficPattern,
+        rate: float,
+        duty_cycle: float = 0.25,
+        burst_length: float = 64.0,
+        size_dist: SizeDistribution | None = None,
+        seed: int = 1,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("offered rate is in flits/cycle/terminal, [0, 1]")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        if burst_length < 1.0:
+            raise ValueError("burst_length must be >= 1 cycle")
+        if rate / duty_cycle > 1.0:
+            raise ValueError(
+                f"on-state rate {rate / duty_cycle:.2f} exceeds channel "
+                "capacity; raise duty_cycle or lower rate"
+            )
+        if pattern.num_terminals != network.topology.num_terminals:
+            raise ValueError("pattern sized for a different network")
+        self.network = network
+        self.pattern = pattern
+        self.rate = rate
+        self.duty_cycle = duty_cycle
+        self.burst_length = burst_length
+        self.size_dist = size_dist or UniformSize(1, 16)
+        self.rng = np.random.default_rng(seed)
+        self.enabled = True
+        self.packets_generated = 0
+        self.flits_generated = 0
+        n = network.topology.num_terminals
+        self._on = self.rng.random(n) < duty_cycle  # stationary start
+        self._p_on = rate / duty_cycle / self.size_dist.mean
+        self._leave_on = 1.0 / burst_length
+        off_length = burst_length * (1.0 - duty_cycle) / duty_cycle
+        self._leave_off = 1.0 / max(1.0, off_length)
+        self._num_terminals = n
+
+    def __call__(self, cycle: int) -> None:
+        if not self.enabled:
+            return
+        flips = self.rng.random(self._num_terminals)
+        leave = np.where(self._on, self._leave_on, self._leave_off)
+        self._on = np.logical_xor(self._on, flips < leave)
+        draws = self.rng.random(self._num_terminals)
+        active = np.logical_and(self._on, draws < self._p_on)
+        for src in np.nonzero(active)[0]:
+            src = int(src)
+            dst = self.pattern.dest(src, self.rng)
+            size = self.size_dist.sample(self.rng)
+            self.network.terminals[src].offer(
+                Packet(src, dst, size, create_cycle=cycle)
+            )
+            self.packets_generated += 1
+            self.flits_generated += size
+
+    @property
+    def fraction_on(self) -> float:
+        return float(np.mean(self._on))
+
+    def stop(self) -> None:
+        self.enabled = False

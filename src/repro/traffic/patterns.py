@@ -1,0 +1,232 @@
+"""The paper's synthetic traffic patterns (Table 3) plus common extras.
+
+Terminal ids follow the HyperX attachment convention: terminal
+``t = router * T + local`` where ``T`` is terminals-per-router.
+
+* **UR** — uniform random over all other terminals.
+* **BC** — bit complement of the terminal id (``N-1-t`` for power-of-two N).
+* **URB(d)** — uniform random bisection: the destination router coordinate in
+  the *targeted* dimension is the complement of the source's; every other
+  dimension (and the local terminal) is uniform random.  ``URBx`` stresses the
+  first dimension (congestion visible at the source router), ``URBy`` the
+  second (invisible to source-adaptive routing — the paper's key experiment).
+* **S2** — swap2: even terminals complement their coordinate in dimension 0,
+  odd terminals in dimension 1; a deterministic permutation leaving most of
+  the network's bandwidth unused.
+* **DCR** — dimension complement reverse, the worst-case admissible pattern
+  for a 3-D HyperX: a source at ``(x, y, z)`` sends to the Z-line at
+  ``(C(z), C(y), *)`` (``C`` = coordinate complement), choosing the final Z
+  coordinate and the local terminal uniformly at random.  Under DOR all
+  ``w*T`` terminals of an X-line funnel through a single Y-channel
+  (``w*T : 1`` oversubscription — 64:1 in the paper's 8x8x8/T=8 network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.hyperx import HyperX
+from .base import TrafficPattern
+
+
+class UniformRandom(TrafficPattern):
+    """UR: uniform random destination, excluding self."""
+
+    name = "UR"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        d = int(rng.integers(self.num_terminals - 1))
+        return d + 1 if d >= src else d
+
+
+class BitComplement(TrafficPattern):
+    """BC: destination id is the bitwise complement of the source id."""
+
+    name = "BC"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        return self.num_terminals - 1 - src
+
+    def is_deterministic(self) -> bool:
+        return True
+
+
+class _HyperXPattern(TrafficPattern):
+    """Base for patterns defined on HyperX router coordinates."""
+
+    def __init__(self, topology: HyperX):
+        super().__init__(topology.num_terminals)
+        self.topology = topology
+        self.tpr = topology.terminals_per_router
+
+    def _split(self, terminal: int) -> tuple[tuple[int, ...], int]:
+        router, local = divmod(terminal, self.tpr)
+        return self.topology.coords(router), local
+
+    def _join(self, coords: list[int], local: int) -> int:
+        return self.topology.router_id(coords) * self.tpr + local
+
+
+class UniformRandomBisection(_HyperXPattern):
+    """URB(d): complement in the targeted dimension, uniform elsewhere."""
+
+    def __init__(self, topology: HyperX, dim: int):
+        super().__init__(topology)
+        if not 0 <= dim < topology.num_dims:
+            raise ValueError(f"dimension {dim} out of range")
+        self.dim = dim
+        self.name = f"URB{'xyzw'[dim] if dim < 4 else dim}"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        coords, _ = self._split(src)
+        widths = self.topology.widths
+        out = [int(rng.integers(w)) for w in widths]
+        out[self.dim] = widths[self.dim] - 1 - coords[self.dim]
+        local = int(rng.integers(self.tpr))
+        return self._join(out, local)
+
+
+class Swap2(_HyperXPattern):
+    """S2: even terminals complement dim 0, odd terminals complement dim 1."""
+
+    name = "S2"
+
+    def __init__(self, topology: HyperX):
+        super().__init__(topology)
+        if topology.num_dims < 2:
+            raise ValueError("Swap2 needs at least 2 dimensions")
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        coords, local = self._split(src)
+        dim = 0 if src % 2 == 0 else 1
+        out = list(coords)
+        out[dim] = self.topology.widths[dim] - 1 - coords[dim]
+        return self._join(out, local)
+
+    def is_deterministic(self) -> bool:
+        return True
+
+
+class DimensionComplementReverse(_HyperXPattern):
+    """DCR: worst-case admissible traffic for a 3-D HyperX (Table 3)."""
+
+    name = "DCR"
+
+    def __init__(self, topology: HyperX):
+        super().__init__(topology)
+        if topology.num_dims != 3:
+            raise ValueError("DCR is defined for 3-D HyperX networks")
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        (x, y, z), _ = self._split(src)
+        wx, wy, wz = self.topology.widths
+        out = [wx - 1 - z if wx == wz else int(rng.integers(wx)), wy - 1 - y, int(rng.integers(wz))]
+        local = int(rng.integers(self.tpr))
+        return self._join(out, local)
+
+
+class Tornado(_HyperXPattern):
+    """Tornado: shift by half the width in one dimension (extra pattern)."""
+
+    def __init__(self, topology: HyperX, dim: int = 0):
+        super().__init__(topology)
+        self.dim = dim
+        self.name = f"TOR{'xyzw'[dim] if dim < 4 else dim}"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        coords, local = self._split(src)
+        w = self.topology.widths[self.dim]
+        out = list(coords)
+        out[self.dim] = (coords[self.dim] + w // 2) % w
+        return self._join(out, local)
+
+    def is_deterministic(self) -> bool:
+        return True
+
+
+class Transpose(TrafficPattern):
+    """Transpose the two halves of the terminal id bits (extra pattern)."""
+
+    name = "TP"
+
+    def __init__(self, num_terminals: int):
+        super().__init__(num_terminals)
+        bits = num_terminals.bit_length() - 1
+        if (1 << bits) != num_terminals or bits % 2 != 0:
+            raise ValueError("transpose needs N = 4^k terminals")
+        self._half = bits // 2
+        self._mask = (1 << self._half) - 1
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        lo = src & self._mask
+        hi = src >> self._half
+        return (lo << self._half) | hi
+
+    def is_deterministic(self) -> bool:
+        return True
+
+
+class RandomPermutation(TrafficPattern):
+    """A fixed random permutation drawn once at construction (extra pattern)."""
+
+    name = "PERM"
+
+    def __init__(self, num_terminals: int, seed: int = 0):
+        super().__init__(num_terminals)
+        rng = np.random.default_rng(seed)
+        while True:
+            perm = rng.permutation(num_terminals)
+            if not np.any(perm == np.arange(num_terminals)):
+                break
+        self._perm = perm
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        return int(self._perm[src])
+
+    def is_deterministic(self) -> bool:
+        return True
+
+
+class Hotspot(TrafficPattern):
+    """A fraction of traffic targets a small hot set; rest is uniform."""
+
+    name = "HOT"
+
+    def __init__(self, num_terminals: int, hot: list[int], fraction: float = 0.2):
+        super().__init__(num_terminals)
+        if not hot:
+            raise ValueError("need at least one hot terminal")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.hot = list(hot)
+        self.fraction = fraction
+        self._uniform = UniformRandom(num_terminals)
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        if rng.random() < self.fraction:
+            choices = [h for h in self.hot if h != src] or [
+                (src + 1) % self.num_terminals
+            ]
+            return choices[int(rng.integers(len(choices)))]
+        return self._uniform.dest(src, rng)
+
+
+def paper_patterns(topology: HyperX) -> dict[str, TrafficPattern]:
+    """The six patterns of the paper's Figure 6 for a 3-D HyperX."""
+    return {
+        "UR": UniformRandom(topology.num_terminals),
+        "BC": BitComplement(topology.num_terminals),
+        "URBx": UniformRandomBisection(topology, 0),
+        "URBy": UniformRandomBisection(topology, 1),
+        "S2": Swap2(topology),
+        "DCR": DimensionComplementReverse(topology),
+    }

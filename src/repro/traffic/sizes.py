@@ -1,0 +1,89 @@
+"""Packet-size distributions.
+
+The paper's synthetic evaluation uses packets "randomly sized from 1 to 16
+flits" (:class:`UniformSize` (1, 16)); the DAL analysis (footnote 3) quotes
+throughput caps for single-flit packets (:class:`FixedSize` (1)) and the same
+uniform mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SizeDistribution:
+    """Distribution of packet sizes in flits."""
+
+    name = "size"
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def max_size(self) -> int:
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+
+class FixedSize(SizeDistribution):
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("packet size must be >= 1")
+        self.size = size
+        self.name = f"fixed{size}"
+
+    @property
+    def mean(self) -> float:
+        return float(self.size)
+
+    @property
+    def max_size(self) -> int:
+        return self.size
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.size
+
+
+class UniformSize(SizeDistribution):
+    """Uniform over [lo, hi] inclusive; the paper's 1..16 flit mix."""
+
+    def __init__(self, lo: int = 1, hi: int = 16):
+        if lo < 1 or hi < lo:
+            raise ValueError("need 1 <= lo <= hi")
+        self.lo, self.hi = lo, hi
+        self.name = f"uniform{lo}-{hi}"
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def max_size(self) -> int:
+        return self.hi
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+
+class BimodalSize(SizeDistribution):
+    """Short control packets mixed with long data packets (extra)."""
+
+    def __init__(self, short: int = 1, long: int = 16, long_fraction: float = 0.5):
+        if not 0.0 <= long_fraction <= 1.0:
+            raise ValueError("long_fraction must be in [0, 1]")
+        self.short, self.long, self.long_fraction = short, long, long_fraction
+        self.name = f"bimodal{short}/{long}@{long_fraction}"
+
+    @property
+    def mean(self) -> float:
+        return self.long * self.long_fraction + self.short * (1 - self.long_fraction)
+
+    @property
+    def max_size(self) -> int:
+        return max(self.short, self.long)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.long if rng.random() < self.long_fraction else self.short

@@ -1,0 +1,242 @@
+"""Tests for the measurement harness (stats, sweeps, saturation) and the
+reporting utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import format_table, to_csv
+from repro.analysis.sweep import (
+    PointResult,
+    SweepResult,
+    measure_point,
+    saturation_throughput,
+    sweep_load,
+)
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.stats import LatencyMonitor, PacketStats, accepted_rate
+from repro.network.types import Packet
+from repro.topology.hyperx import HyperX
+from repro.traffic.patterns import UniformRandom
+
+
+# ---------------------------------------------------------------------------
+# PacketStats / LatencyMonitor
+# ---------------------------------------------------------------------------
+
+
+def _delivered_packet(create, eject, hops=2, deroutes=0):
+    p = Packet(0, 1, 4, create_cycle=create)
+    p.hops, p.deroutes = hops, deroutes
+    return p, eject
+
+
+def test_packet_stats_summaries():
+    stats = PacketStats()
+    for create, eject in [(0, 30), (10, 50), (20, 80)]:
+        p, e = _delivered_packet(create, eject)
+        p.eject_cycle = e
+        stats.on_delivery(p, e)
+    assert stats.packets_delivered == 3
+    assert stats.mean_latency() == pytest.approx((30 + 40 + 60) / 3)
+    assert stats.mean_latency(since=10) == pytest.approx(50.0)
+    assert stats.mean_hops() == 2.0
+    assert math.isnan(stats.mean_latency(since=999))
+
+
+def test_monitor_stable_flat_latency():
+    stats = PacketStats()
+    for create in range(0, 1000, 10):
+        p, _ = _delivered_packet(create, create + 40)
+        p.eject_cycle = create + 40
+        stats.on_delivery(p, p.eject_cycle)
+    v = LatencyMonitor(min_samples=20).verdict(
+        stats, 0, 1000, num_terminals=4, offered_rate=0.2
+    )
+    assert v.stable and v.mean_latency == pytest.approx(40.0)
+
+
+def test_monitor_detects_growth():
+    stats = PacketStats()
+    for create in range(0, 1000, 10):
+        latency = 40 + create  # latency grows linearly: saturation
+        p, _ = _delivered_packet(create, create + latency)
+        p.eject_cycle = create + latency
+        stats.on_delivery(p, p.eject_cycle)
+    v = LatencyMonitor(min_samples=20).verdict(
+        stats, 0, 1000, num_terminals=4, offered_rate=0.2
+    )
+    assert not v.stable and "growing" in v.reason
+
+
+def test_monitor_detects_backlog():
+    stats = PacketStats()
+    for create in range(0, 1000, 10):
+        p, _ = _delivered_packet(create, create + 40)
+        p.eject_cycle = create + 40
+        stats.on_delivery(p, p.eject_cycle)
+    v = LatencyMonitor(min_samples=20).verdict(
+        stats, 0, 1000, num_terminals=4, offered_rate=0.2,
+        undelivered_backlog=10_000,
+    )
+    assert not v.stable and "backlog" in v.reason
+
+
+def test_monitor_insufficient_samples():
+    stats = PacketStats()
+    v = LatencyMonitor().verdict(stats, 0, 100, 4, 0.1)
+    assert not v.stable
+
+
+def test_accepted_rate_helper():
+    assert accepted_rate(800, 400, 4) == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# measure_point / sweeps
+# ---------------------------------------------------------------------------
+
+
+def _setup():
+    topo = HyperX((3, 3), 2)
+    return topo, UniformRandom(topo.num_terminals)
+
+
+def test_measure_point_low_load_stable():
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    r = measure_point(topo, algo, pat, 0.2, total_cycles=2500, seed=3)
+    assert r.stable
+    assert r.accepted_rate == pytest.approx(0.2, abs=0.05)
+    assert r.mean_latency > 0 and r.packets_delivered > 100
+
+
+def test_measure_point_overload_saturates():
+    topo, pat = _setup()
+    algo = make_algorithm("DOR", topo)
+    from repro.traffic.patterns import BitComplement
+
+    r = measure_point(
+        topo, algo, BitComplement(topo.num_terminals), 0.9,
+        total_cycles=2500, seed=3,
+    )
+    assert not r.stable
+    assert r.accepted_rate < 0.8
+
+
+def test_sweep_stops_after_unstable():
+    topo, pat = _setup()
+    from repro.traffic.patterns import BitComplement
+
+    algo = make_algorithm("DOR", topo)
+    sweep = sweep_load(
+        topo, algo, BitComplement(topo.num_terminals),
+        rates=[0.2, 0.4, 0.6, 0.8, 1.0],
+        total_cycles=2000, seed=3,
+    )
+    assert not sweep.points[-1].stable
+    assert len(sweep.points) < 5  # stopped early
+    assert all(p.stable for p in sweep.points[:-1])
+
+
+def test_saturation_throughput_monotone_setup():
+    topo, pat = _setup()
+    algo = make_algorithm("OmniWAR", topo)
+    sweep = saturation_throughput(
+        topo, algo, pat, granularity=0.25, total_cycles=2000, seed=3
+    )
+    assert sweep.saturation_rate > 0.2
+    offered = [p.offered_rate for p in sweep.points]
+    assert offered == sorted(offered)
+
+
+def test_sweep_result_api():
+    s = SweepResult(algorithm="X", pattern="Y")
+    assert s.saturation_rate == 0.0
+    assert s.stable_points() == []
+
+
+def test_saturation_granularity_validation():
+    topo, pat = _setup()
+    algo = make_algorithm("DOR", topo)
+    with pytest.raises(ValueError):
+        saturation_throughput(topo, algo, pat, granularity=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xxx", 4]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len({len(line) for line in lines[2:]}) <= 2  # aligned columns
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_to_csv():
+    csv_text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+    assert csv_text.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+def test_latency_by_hops_and_deroute_histogram():
+    stats = PacketStats()
+    for create, eject, hops, der in [
+        (0, 30, 1, 0), (0, 34, 1, 0), (0, 60, 2, 1), (0, 64, 2, 0),
+    ]:
+        p = Packet(0, 1, 4, create_cycle=create)
+        p.hops, p.deroutes, p.eject_cycle = hops, der, eject
+        stats.on_delivery(p, eject)
+    by_hops = stats.latency_by_hops()
+    assert by_hops[1] == pytest.approx(32.0)
+    assert by_hops[2] == pytest.approx(62.0)
+    hist = stats.deroute_histogram()
+    assert hist == {0: 3, 1: 1}
+
+
+def test_ascii_plot_basic():
+    from repro.analysis.ascii_plot import ascii_plot
+
+    text = ascii_plot(
+        {"A": [(0.1, 40), (0.5, 80)], "B": [(0.1, 42), (0.5, 200)]},
+        width=30, height=8,
+    )
+    lines = text.splitlines()
+    assert any("o" in ln for ln in lines)  # series A marker
+    assert any("x" in ln for ln in lines)  # series B marker
+    assert "A" in text and "B" in text  # legend
+    assert "200.0" in text and "40.0" in text  # y range labels
+
+
+def test_ascii_plot_validation():
+    import pytest as _pytest
+
+    from repro.analysis.ascii_plot import ascii_plot
+
+    with _pytest.raises(ValueError):
+        ascii_plot({})
+    with _pytest.raises(ValueError):
+        ascii_plot({"A": []})
+    with _pytest.raises(ValueError):
+        ascii_plot({"A": [(0, 1)]}, width=4, height=2)
+
+
+def test_plot_sweeps_uses_stable_points():
+    from repro.analysis.ascii_plot import plot_sweeps
+
+    sweep = SweepResult(algorithm="DOR", pattern="UR")
+    sweep.points = [
+        PointResult(0.2, True, "stable", 40.0, 60.0, 0.2, 2.0, 0.0, 10, 100),
+        PointResult(0.4, False, "sat", 400.0, 900.0, 0.3, 2.0, 0.0, 10, 100),
+    ]
+    text = plot_sweeps({"DOR": sweep}, width=20, height=6)
+    assert "40.0" in text
+    assert "400" not in text  # the saturated point is excluded

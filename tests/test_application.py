@@ -1,0 +1,250 @@
+"""Tests for the 27-point stencil application model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.application.collective import DisseminationCollective
+from repro.application.engine import StencilApplication
+from repro.application.placement import LinearPlacement, RandomPlacement
+from repro.application.stencil import StencilDecomposition
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.topology.hyperx import HyperX
+
+
+# ---------------------------------------------------------------------------
+# Decomposition
+# ---------------------------------------------------------------------------
+
+
+def test_periodic_grid_has_26_neighbors():
+    d = StencilDecomposition((3, 3, 3), aggregate_flits=260)
+    for rank in range(d.num_ranks):
+        nbrs = d.neighbors(rank)
+        assert len(nbrs) == 26  # the 27-point stencil's 26 halo partners
+        kinds = [n.kind for n in nbrs]
+        assert kinds.count("face") == 6
+        assert kinds.count("edge") == 12
+        assert kinds.count("corner") == 8
+
+
+def test_nonperiodic_corner_rank_has_7_neighbors():
+    d = StencilDecomposition((3, 3, 3), aggregate_flits=260, periodic=False)
+    # a corner sub-cube touches 7 others: 3 faces, 3 edges, 1 corner
+    corner = d.rank_id((0, 0, 0))
+    nbrs = d.neighbors(corner)
+    assert len(nbrs) == 7
+    center = d.rank_id((1, 1, 1))
+    assert len(d.neighbors(center)) == 26
+
+
+def test_neighbor_sizes_follow_face_edge_corner_weights():
+    d = StencilDecomposition(
+        (3, 3, 3), aggregate_flits=2600, face_edge_corner_weights=(16, 4, 1)
+    )
+    nbrs = d.neighbors(0)
+    by_kind = {k: next(n for n in nbrs if n.kind == k).size_flits
+               for k in ("face", "edge", "corner")}
+    assert by_kind["face"] > by_kind["edge"] > by_kind["corner"] >= 1
+    assert by_kind["face"] == pytest.approx(16 * by_kind["corner"], rel=0.30)
+
+
+def test_aggregate_roughly_preserved():
+    d = StencilDecomposition((4, 4, 4), aggregate_flits=2600)
+    total = sum(n.size_flits for n in d.neighbors(5))
+    assert total == pytest.approx(2600, rel=0.05)
+
+
+def test_neighbor_symmetry():
+    """If A lists B as a neighbour, B lists A (same offsets, mirrored)."""
+    d = StencilDecomposition((3, 4, 2), aggregate_flits=260)
+    for rank in range(d.num_ranks):
+        for n in d.neighbors(rank):
+            back = [m.rank for m in d.neighbors(n.rank)]
+            assert rank in back
+
+
+def test_coords_roundtrip_and_traffic_matrix():
+    d = StencilDecomposition((2, 3, 4), aggregate_flits=520)
+    for r in range(d.num_ranks):
+        assert d.rank_id(d.coords(r)) == r
+    tm = d.traffic_matrix()
+    assert all(src != dst for src, dst in tm)
+    assert all(f >= 1 for f in tm.values())
+
+
+def test_decomposition_validation():
+    with pytest.raises(ValueError):
+        StencilDecomposition((0, 3, 3), aggregate_flits=260)
+    with pytest.raises(ValueError):
+        StencilDecomposition((3, 3, 3), aggregate_flits=10)
+    with pytest.raises(ValueError):
+        StencilDecomposition((3, 3, 3), aggregate_flits=260,
+                             face_edge_corner_weights=(0, 1, 1))
+
+
+# ---------------------------------------------------------------------------
+# Collective
+# ---------------------------------------------------------------------------
+
+
+def test_dissemination_rounds_are_log2():
+    assert DisseminationCollective(8).num_rounds == 3
+    assert DisseminationCollective(27).num_rounds == 5  # ceil(log2 27)
+    assert DisseminationCollective(2).num_rounds == 1
+
+
+def test_dissemination_sends_are_id_plus_minus_2k():
+    c = DisseminationCollective(16)
+    sends = c.sends(5, 0)
+    assert {s.dst_rank for s in sends} == {4, 6}  # ID-1, ID+1
+    sends = c.sends(5, 2)
+    assert {s.dst_rank for s in sends} == {1, 9}  # ID-4, ID+4
+
+
+def test_dissemination_send_recv_symmetry():
+    """Every send in a round has a matching expected receive at the peer."""
+    for n in (5, 8, 12):
+        c = DisseminationCollective(n)
+        for rnd in range(c.num_rounds):
+            incoming = {r: 0 for r in range(n)}
+            for rank in range(n):
+                for s in c.sends(rank, rnd):
+                    incoming[s.dst_rank] += 1
+            for rank in range(n):
+                assert incoming[rank] == c.expected_receives(rank, rnd)
+
+
+def test_dissemination_degenerate_half_distance():
+    # N=4, round 1: ID+2 == ID-2 (mod 4) -> a single send, not two
+    c = DisseminationCollective(4)
+    assert len(c.sends(0, 1)) == 1
+
+
+def test_collective_validation():
+    with pytest.raises(ValueError):
+        DisseminationCollective(1)
+    with pytest.raises(ValueError):
+        DisseminationCollective(8, message_flits=0)
+    with pytest.raises(ValueError):
+        DisseminationCollective(8).sends(0, 99)
+
+
+# ---------------------------------------------------------------------------
+# Placement
+# ---------------------------------------------------------------------------
+
+
+def test_linear_placement():
+    p = LinearPlacement(10, 20)
+    p.validate()
+    assert p.terminal_of(3) == 3
+    assert p.rank_of(3) == 3
+    assert p.rank_of(15) is None
+
+
+def test_random_placement_is_injective_and_seeded():
+    a = RandomPlacement(20, 30, seed=4)
+    b = RandomPlacement(20, 30, seed=4)
+    c = RandomPlacement(20, 30, seed=5)
+    a.validate()
+    assert [a.terminal_of(r) for r in range(20)] == [
+        b.terminal_of(r) for r in range(20)
+    ]
+    assert [a.terminal_of(r) for r in range(20)] != [
+        c.terminal_of(r) for r in range(20)
+    ]
+
+
+def test_placement_rejects_overflow():
+    with pytest.raises(ValueError):
+        LinearPlacement(10, 5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ranks=st.integers(2, 40), extra=st.integers(0, 20), seed=st.integers(0, 99))
+def test_property_random_placement_bijective(ranks, extra, seed):
+    p = RandomPlacement(ranks, ranks + extra, seed=seed)
+    terms = [p.terminal_of(r) for r in range(ranks)]
+    assert len(set(terms)) == ranks
+    for r, t in enumerate(terms):
+        assert p.rank_of(t) == r
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def _run_app(mode, iterations, algo="DimWAR", grid=(2, 2, 2), seed=1):
+    topo = HyperX((3, 3), 2)
+    algorithm = make_algorithm(algo, topo)
+    net = Network(topo, algorithm, default_config())
+    sim = Simulator(net)
+    decomp = StencilDecomposition(grid, aggregate_flits=52)
+    placement = RandomPlacement(decomp.num_ranks, topo.num_terminals, seed=seed)
+    app = StencilApplication(net, decomp, placement, iterations=iterations, mode=mode)
+    t = app.run(sim, max_cycles=2_000_000)
+    return app, t
+
+
+@pytest.mark.parametrize("mode", ["collective", "halo", "full"])
+def test_app_completes(mode):
+    app, t = _run_app(mode, iterations=1)
+    assert app.done and t > 0
+    assert app.execution_time == t
+
+
+def test_app_message_counts():
+    app, _ = _run_app("full", iterations=2, grid=(2, 2, 2))
+    n = app.decomp.num_ranks
+    halo_msgs = sum(app.decomp.neighbor_count(r) for r in range(n))
+    coll_msgs = sum(
+        len(app.collective.sends(r, k))
+        for r in range(n)
+        for k in range(app.collective.num_rounds)
+    )
+    assert app.messages_sent == 2 * (halo_msgs + coll_msgs)
+
+
+def test_app_more_iterations_take_longer():
+    _, t1 = _run_app("full", iterations=1)
+    _, t4 = _run_app("full", iterations=4)
+    assert t4 > t1 * 2
+
+
+def test_collective_only_mode_sends_no_halos():
+    app, _ = _run_app("collective", iterations=1, grid=(2, 2, 2))
+    n = app.decomp.num_ranks
+    coll_msgs = sum(
+        len(app.collective.sends(r, k))
+        for r in range(n)
+        for k in range(app.collective.num_rounds)
+    )
+    assert app.messages_sent == coll_msgs
+
+
+def test_app_rejects_bad_configs():
+    topo = HyperX((3, 3), 2)
+    algorithm = make_algorithm("DOR", topo)
+    net = Network(topo, algorithm, default_config())
+    decomp = StencilDecomposition((2, 2, 2), aggregate_flits=52)
+    placement = RandomPlacement(decomp.num_ranks, topo.num_terminals)
+    with pytest.raises(ValueError):
+        StencilApplication(net, decomp, placement, mode="warp")
+    with pytest.raises(ValueError):
+        StencilApplication(net, decomp, placement, iterations=0)
+    bad_placement = RandomPlacement(4, topo.num_terminals)
+    with pytest.raises(ValueError):
+        StencilApplication(net, decomp, bad_placement)
+
+
+def test_app_deterministic():
+    _, t1 = _run_app("full", 1, seed=2)
+    _, t2 = _run_app("full", 1, seed=2)
+    assert t1 == t2

@@ -1,0 +1,103 @@
+"""Tests for the bursty (on/off Markov) injection process."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import BurstyTraffic
+from repro.traffic.patterns import UniformRandom
+
+
+def _net(widths=(4, 4), tpr=2):
+    topo = HyperX(widths, tpr)
+    net = Network(topo, make_algorithm("DimWAR", topo), default_config())
+    return topo, net
+
+
+def test_long_run_offered_load_matches_rate():
+    topo, net = _net()
+    sim = Simulator(net)
+    tr = BurstyTraffic(
+        net, UniformRandom(topo.num_terminals), rate=0.15,
+        duty_cycle=0.25, burst_length=32, seed=7,
+    )
+    sim.processes.append(tr)
+    cycles = 20_000
+    sim.run(cycles)
+    offered = tr.flits_generated / (cycles * topo.num_terminals)
+    assert offered == pytest.approx(0.15, rel=0.15)
+
+
+def test_duty_cycle_stationary():
+    topo, net = _net()
+    tr = BurstyTraffic(
+        net, UniformRandom(topo.num_terminals), rate=0.1,
+        duty_cycle=0.3, burst_length=16, seed=3,
+    )
+    samples = []
+    for cycle in range(8000):
+        tr(cycle)
+        if cycle % 10 == 0:
+            samples.append(tr.fraction_on)
+    # drain the source queues so the test network object can be dropped
+    assert np.mean(samples) == pytest.approx(0.3, abs=0.06)
+
+
+def test_bursts_are_bursty():
+    """Per-terminal injections cluster: the variance of per-window packet
+    counts must exceed a Bernoulli process of the same mean."""
+    from repro.traffic.injection import SyntheticTraffic
+
+    topo, net = _net()
+    window = 64
+
+    def window_counts(tr_cls, **kw):
+        t2, n2 = _net()
+        tr = tr_cls(n2, UniformRandom(t2.num_terminals), rate=0.2, seed=5, **kw)
+        counts = []
+        c = 0
+        for w in range(60):
+            before = tr.packets_generated
+            for _ in range(window):
+                tr(c)
+                c += 1
+            counts.append(tr.packets_generated - before)
+        return np.var(counts)
+
+    var_bursty = window_counts(BurstyTraffic, duty_cycle=0.2, burst_length=128)
+    var_bernoulli = window_counts(SyntheticTraffic)
+    assert var_bursty > 2 * var_bernoulli
+
+
+def test_everything_still_delivered():
+    topo, net = _net()
+    sim = Simulator(net)
+    tr = BurstyTraffic(
+        net, UniformRandom(topo.num_terminals), rate=0.25,
+        duty_cycle=0.5, burst_length=32, seed=2,
+    )
+    sim.processes.append(tr)
+    sim.run(2000)
+    tr.stop()
+    assert sim.drain(max_cycles=100_000)
+    assert net.total_ejected_flits() == tr.flits_generated
+
+
+def test_validation():
+    topo, net = _net()
+    ur = UniformRandom(topo.num_terminals)
+    with pytest.raises(ValueError):
+        BurstyTraffic(net, ur, rate=1.5)
+    with pytest.raises(ValueError):
+        BurstyTraffic(net, ur, rate=0.2, duty_cycle=0.0)
+    with pytest.raises(ValueError):
+        BurstyTraffic(net, ur, rate=0.2, burst_length=0.5)
+    with pytest.raises(ValueError):
+        # on-state rate would exceed channel capacity
+        BurstyTraffic(net, ur, rate=0.6, duty_cycle=0.25)
+    with pytest.raises(ValueError):
+        BurstyTraffic(net, UniformRandom(4), rate=0.2)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "DimWAR" in out and "OmniWAR" in out
+    assert "fig6g" in out and "smoke" in out
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--algorithm", "OmniWAR", "--pattern", "BC",
+        "--widths", "3", "3", "--terminals", "2",
+        "--rates", "0.15", "--cycles", "1200",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "OmniWAR on BC" in out
+    assert "0.15" in out
+
+
+def test_sweep_dcr_requires_3d():
+    with pytest.raises(ValueError):
+        main([
+            "sweep", "--pattern", "DCR", "--widths", "3", "3",
+            "--rates", "0.1", "--cycles", "500",
+        ])
+
+
+def test_stencil_command(capsys):
+    rc = main([
+        "stencil", "--algorithms", "DOR", "--mode", "collective",
+        "--iterations", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "collective" in out and "DOR" in out
+
+
+def test_figure_table1(capsys):
+    assert main(["figure", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "DimWAR" in out and "Clos-AD" in out
+
+
+def test_figure_fig2(capsys):
+    assert main(["figure", "fig2"]) == 0
+    assert "78608" in capsys.readouterr().out
+
+
+def test_bad_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["explode"])
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--algorithm", "NOPE"])

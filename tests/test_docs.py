@@ -1,0 +1,78 @@
+"""Documentation consistency checks — docs must not rot.
+
+Verifies that DESIGN.md / EXPERIMENTS.md / README.md reference modules,
+benchmarks, and CLI figures that actually exist, and that every public
+module has a docstring.
+"""
+
+import importlib
+import os
+import pkgutil
+import re
+
+import repro
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _read(name):
+    with open(os.path.join(ROOT, name)) as f:
+        return f.read()
+
+
+def test_design_references_existing_modules():
+    text = _read("DESIGN.md")
+    for ref in re.findall(r"`repro\.[a-z_.]+`", text):
+        mod = ref.strip("`")
+        # allow references to attributes: import the longest importable prefix
+        parts = mod.split(".")
+        for cut in range(len(parts), 1, -1):
+            try:
+                importlib.import_module(".".join(parts[:cut]))
+                break
+            except ImportError:
+                continue
+        else:
+            raise AssertionError(f"DESIGN.md references missing module {mod}")
+
+
+def test_design_references_existing_files():
+    text = _read("DESIGN.md") + _read("EXPERIMENTS.md")
+    for ref in re.findall(r"`(benchmarks/[a-z0-9_]+\.py)`", text):
+        assert os.path.exists(os.path.join(ROOT, ref)), f"missing {ref}"
+    for ref in re.findall(r"`(tests/[a-z0-9_]+\.py)`", text):
+        assert os.path.exists(os.path.join(ROOT, ref)), f"missing {ref}"
+
+
+def test_experiments_cli_figures_exist():
+    from repro.cli import FIGURES
+
+    text = _read("EXPERIMENTS.md")
+    for name in re.findall(r"python -m repro figure ([a-z0-9_]+)", text):
+        assert name in FIGURES, f"EXPERIMENTS.md references unknown figure {name}"
+
+
+def test_readme_examples_exist():
+    text = _read("README.md")
+    for ref in re.findall(r"examples/([a-z_]+\.py)", text):
+        assert os.path.exists(os.path.join(ROOT, "examples", ref)), ref
+
+
+def test_every_module_has_docstring():
+    missing = []
+    for m in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if m.name.endswith("__main__"):
+            continue
+        mod = importlib.import_module(m.name)
+        if not (mod.__doc__ or "").strip():
+            missing.append(m.name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_public_algorithms_documented_in_algorithms_md():
+    from repro.core.registry import algorithm_names
+
+    text = _read(os.path.join("docs", "ALGORITHMS.md"))
+    for name in algorithm_names():
+        base = name.replace("-b2b", "")
+        assert base in text, f"docs/ALGORITHMS.md does not mention {base}"

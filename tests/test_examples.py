@@ -1,0 +1,47 @@
+"""Smoke tests that the example scripts actually run.
+
+Examples are documentation; a broken example is a broken promise.  The fast
+ones run as subprocesses here (the long sweeps are exercised piecewise by
+the benchmark suite).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    ("quickstart.py", ["accepted", "verdict"]),
+    ("cost_analysis.py", ["78,608", "passive-optical"]),
+    ("trace_replay.py", ["recorded", "completion cycle"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", FAST_EXAMPLES)
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for token in expected:
+        assert token in result.stdout, (
+            f"{script} output missing {token!r}:\n{result.stdout[-1500:]}"
+        )
+
+
+def test_all_examples_have_docstrings_and_main_guards_not_needed():
+    """Every example is a straight-line script with a module docstring."""
+    for name in os.listdir(EXAMPLES):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(EXAMPLES, name)) as f:
+            source = f.read()
+        assert source.lstrip().startswith(('"""', '#!')), name
+        assert '"""' in source, f"{name} lacks a docstring"

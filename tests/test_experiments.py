@@ -1,0 +1,184 @@
+"""Tests for the experiment drivers (cheap paths only; the full simulation
+sweeps are exercised by the benchmark harness)."""
+
+import pytest
+
+from repro.analysis.sweep import PointResult, SweepResult
+from repro.experiments import (
+    SCALES,
+    fig2_scalability,
+    fig3_cost,
+    fig4_topologies,
+    fig6_synthetic,
+    fig8_stencil,
+    get_scale,
+    table1_comparison,
+)
+
+
+# ---------------------------------------------------------------------------
+# Scales
+# ---------------------------------------------------------------------------
+
+
+def test_scales_exist_and_build():
+    assert set(SCALES) == {"smoke", "small", "paper"}
+    for name, scale in SCALES.items():
+        topo = scale.topology()
+        assert topo.num_terminals > 0
+        cfg = scale.sim_config()
+        assert cfg.router.num_vcs == 8  # all scales use the paper's 8 VCs
+
+
+def test_paper_scale_is_the_papers_network():
+    sc = get_scale("paper")
+    topo = sc.topology()
+    assert topo.widths == (8, 8, 8)
+    assert topo.num_terminals == 4096
+    assert sc.granularity == 0.02  # the paper's 2% injection granularity
+    cfg = sc.sim_config()
+    assert cfg.network.channel_latency_rr == 50
+    assert cfg.router.xbar_latency == 50
+
+
+def test_get_scale_passthrough_and_errors():
+    sc = get_scale("smoke")
+    assert get_scale(sc) is sc
+    with pytest.raises(ValueError):
+        get_scale("galactic")
+
+
+# ---------------------------------------------------------------------------
+# Analytical drivers
+# ---------------------------------------------------------------------------
+
+
+def test_fig2_run_and_render():
+    points = fig2_scalability.run(radices=[32, 64])
+    text = fig2_scalability.render(points)
+    assert "HyperX-3" in text and "Dragonfly-3" in text
+    assert "78608" in text  # the paper's 3D 64-port number
+
+
+def test_fig3_run_and_render():
+    points = fig3_cost.run(target_sizes=[4096])
+    text = fig3_cost.render(points)
+    assert "passive-optical" in text and "DF/HX" in text
+
+
+def test_table1_run_and_render():
+    text = table1_comparison.render(table1_comparison.run())
+    assert "DimWAR" in text and "escape paths" in text
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 result containers / rendering (no simulation)
+# ---------------------------------------------------------------------------
+
+
+def _fake_point(rate, stable=True):
+    return PointResult(
+        offered_rate=rate, stable=stable, reason="stable" if stable else "sat",
+        mean_latency=40.0, p99_latency=80.0, accepted_rate=rate,
+        mean_hops=2.0, mean_deroutes=0.1, packets_delivered=100, cycles=1000,
+    )
+
+
+def test_fig6_result_and_render():
+    res = fig6_synthetic.Fig6Result(scale="smoke")
+    sweep = SweepResult(algorithm="DOR", pattern="UR",
+                        points=[_fake_point(0.2), _fake_point(0.4, stable=False)])
+    res.sweeps[("UR", "DOR")] = sweep
+    assert res.saturation("UR", "DOR") == pytest.approx(0.2)
+    text = fig6_synthetic.render_load_latency(res, "UR")
+    assert "saturated" in text
+    chart = fig6_synthetic.render_throughput_chart(
+        res, algorithms=("DOR",), patterns=("UR",)
+    )
+    assert "0.20" in chart
+
+
+def test_fig6_rejects_unknown_pattern():
+    with pytest.raises(ValueError):
+        fig6_synthetic.run_pattern("WAVES", scale="smoke")
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 / Figure 8 containers
+# ---------------------------------------------------------------------------
+
+
+def test_fig4_cases_are_comparable():
+    for scale in ("smoke", "small", "paper"):
+        cases = fig4_topologies.paper_cases(scale)
+        names = [c.name for c in cases]
+        assert names == ["FatTree", "Dragonfly", "HyperX"]
+        sizes = [c.num_terminals for c in cases]
+        assert max(sizes) < 2 * min(sizes)  # endpoint counts comparable
+
+
+def test_fig4_speedup_math():
+    res = fig4_topologies.Fig4Result(scale="smoke")
+    res.times[("HyperX", 1)] = 75
+    res.times[("Dragonfly", 1)] = 100
+    assert res.hyperx_speedup("Dragonfly", 1) == pytest.approx(0.25)
+    assert "Dragonfly" in fig4_topologies.render(res)
+
+
+def test_fig8_render():
+    res = fig8_stencil.Fig8Result(scale="smoke")
+    res.times[("halo", 1, "DOR")] = 1000
+    res.times[("halo", 1, "OmniWAR")] = 800
+    text = fig8_stencil.render(res, algorithms=("DOR", "OmniWAR"))
+    assert "1000" in text and "800" in text
+
+
+def test_fig8_single_run_smokes():
+    t = fig8_stencil.run_stencil_once(
+        "DimWAR", mode="collective", iterations=1, scale="smoke"
+    )
+    assert t > 0
+
+
+def test_table_area_driver():
+    from repro.experiments import table_area
+
+    result = table_area.run(algorithms=("DOR", "DimWAR"))
+    text = table_area.render(result)
+    assert "size-optimized" in text
+    assert ("DimWAR", "paper", "full") in result.geometries
+
+
+def test_irregular_driver_and_render():
+    from repro.experiments import irregular
+
+    res = irregular.run(algorithms=("DOR",), scale="smoke", cycles=1200)
+    text = irregular.render(res)
+    assert "DOR" in text and "large-job latency" in text
+    r = res.results["DOR"]
+    assert r.packets > 0 and r.large_job_latency > 0
+
+
+def test_irregular_requires_3d():
+    import pytest as _pytest
+
+    from repro.experiments.common import Scale
+    from repro.experiments.irregular import run_one
+
+    flat = Scale(
+        name="flat2d", widths=(4, 4), terminals_per_router=2,
+        total_cycles=1000, granularity=0.2, stencil_ranks=(2, 2, 2),
+        stencil_aggregate_flits=52,
+    )
+    with _pytest.raises(ValueError):
+        run_one("DOR", flat, cycles=100)
+
+
+def test_fig7_model_renders():
+    from repro.experiments import fig7_model
+
+    text = fig7_model.run()
+    assert "26" in text and "dissemination" in text
+    # the face/edge/corner counts of the paper's Figure 7b
+    dec = fig7_model.render_decomposition(grid=(3, 3, 3), aggregate_flits=260)
+    assert "face" in dec and "edge" in dec and "corner" in dec

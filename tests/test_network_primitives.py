@@ -1,0 +1,203 @@
+"""Tests for channels, buffers, credit trackers, arbiters, and core types."""
+
+import pytest
+
+from repro.network.arbiter import AgeBasedArbiter, RoundRobinArbiter, make_arbiter
+from repro.network.buffers import CreditTracker, InputUnit
+from repro.network.channel import Channel
+from repro.network.types import Credit, Flit, Message, Packet
+
+
+# ---------------------------------------------------------------------------
+# Channel
+# ---------------------------------------------------------------------------
+
+
+def test_channel_latency_exact():
+    out = []
+    ch = Channel(3, out.append)
+    ch.push(10, "a")
+    ch.deliver(11)
+    ch.deliver(12)
+    assert out == []
+    ch.deliver(13)
+    assert out == ["a"]
+    assert not ch.busy
+
+
+def test_channel_orders_items():
+    out = []
+    ch = Channel(2, out.append)
+    ch.push(0, "a")
+    ch.push(1, "b")
+    ch.deliver(2)
+    assert out == ["a"]
+    ch.deliver(3)
+    assert out == ["a", "b"]
+
+
+def test_channel_rate_limit():
+    ch = Channel(1, lambda item: None)
+    ch.push(5, "a")
+    with pytest.raises(RuntimeError):
+        ch.push(5, "b")
+    # past cycles also rejected (simulation time is monotonic)
+    with pytest.raises(RuntimeError):
+        ch.push(4, "c")
+
+
+def test_credit_channel_allows_bursts():
+    out = []
+    ch = Channel(1, out.append, limit_rate=False)
+    ch.push(5, Credit(0))
+    ch.push(5, Credit(1))
+    ch.deliver(6)
+    assert out == [Credit(0), Credit(1)]
+
+
+def test_channel_rejects_zero_latency():
+    with pytest.raises(ValueError):
+        Channel(0, lambda item: None)
+
+
+def test_channel_utilization_count():
+    ch = Channel(1, lambda item: None)
+    for c in range(4):
+        ch.push(c, c)
+    assert ch.utilization_count == 4
+    assert ch.in_flight == 4
+
+
+# ---------------------------------------------------------------------------
+# Buffers and credits
+# ---------------------------------------------------------------------------
+
+
+def _flit(size=1, idx=0):
+    return Flit(Packet(0, 1, size, create_cycle=0), idx)
+
+
+def test_input_unit_receive_and_overflow():
+    iu = InputUnit(num_vcs=2, depth=2)
+    iu.receive(0, _flit())
+    iu.receive(0, _flit())
+    assert iu.occupancy(0) == 2
+    assert iu.occupancy() == 2
+    with pytest.raises(RuntimeError):
+        iu.receive(0, _flit())
+    iu.receive(1, _flit())
+    assert iu.occupancy() == 3
+    assert not iu.empty
+
+
+def test_input_unit_validation():
+    with pytest.raises(ValueError):
+        InputUnit(0, 4)
+    with pytest.raises(ValueError):
+        InputUnit(2, 0)
+
+
+def test_credit_tracker_protocol():
+    ct = CreditTracker(num_vcs=2, depth=3)
+    assert ct.available(0) == 3
+    ct.consume(0)
+    ct.consume(0)
+    assert ct.available(0) == 1
+    assert ct.occupied(0) == 2
+    assert ct.total_occupied() == 2
+    ct.restore(0)
+    assert ct.available(0) == 2
+
+
+def test_credit_tracker_underflow_overflow():
+    ct = CreditTracker(1, 1)
+    ct.consume(0)
+    with pytest.raises(RuntimeError):
+        ct.consume(0)
+    ct.restore(0)
+    with pytest.raises(RuntimeError):
+        ct.restore(0)
+
+
+# ---------------------------------------------------------------------------
+# Arbiters
+# ---------------------------------------------------------------------------
+
+
+def test_age_arbiter_picks_oldest():
+    arb = AgeBasedArbiter()
+    reqs = [(5, 1), (3, 2), (7, 0)]
+    assert arb.pick(reqs, key=lambda r: r) == (3, 2)
+    assert arb.pick([], key=lambda r: r) is None
+
+
+def test_round_robin_rotates():
+    arb = RoundRobinArbiter(4)
+    reqs = [(0,), (2,)]
+    first = arb.pick(reqs, key=lambda r: r)
+    assert first == (0,)
+    # priority moved past 0 -> 2 wins next
+    assert arb.pick(reqs, key=lambda r: r) == (2,)
+    assert arb.pick(reqs, key=lambda r: r) == (0,)
+
+
+def test_round_robin_no_starvation():
+    arb = RoundRobinArbiter(3)
+    reqs = [(0,), (1,), (2,)]
+    grants = [arb.pick(reqs, key=lambda r: r)[0] for _ in range(9)]
+    assert sorted(set(grants)) == [0, 1, 2]
+    for g in (0, 1, 2):
+        assert grants.count(g) == 3
+
+
+def test_make_arbiter():
+    assert isinstance(make_arbiter("age", 4), AgeBasedArbiter)
+    assert isinstance(make_arbiter("round_robin", 4), RoundRobinArbiter)
+    with pytest.raises(ValueError):
+        make_arbiter("priority", 4)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def test_packet_flits_head_tail():
+    p = Packet(0, 1, 3, create_cycle=5)
+    flits = p.flits()
+    assert len(flits) == 3
+    assert flits[0].is_head and not flits[0].is_tail
+    assert flits[2].is_tail and not flits[2].is_head
+    assert not flits[1].is_head and not flits[1].is_tail
+
+
+def test_single_flit_packet_is_head_and_tail():
+    f = Packet(0, 1, 1, create_cycle=0).flits()[0]
+    assert f.is_head and f.is_tail
+
+
+def test_packet_latency_and_age_key():
+    p = Packet(0, 1, 2, create_cycle=10)
+    assert p.latency is None
+    p.eject_cycle = 35
+    assert p.latency == 25
+    q = Packet(0, 1, 2, create_cycle=9)
+    assert q.age_key < p.age_key  # older first
+
+
+def test_packet_ids_unique():
+    ids = {Packet(0, 1, 1, create_cycle=0).pid for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_packet_rejects_empty():
+    with pytest.raises(ValueError):
+        Packet(0, 1, 0, create_cycle=0)
+
+
+def test_message_completion():
+    m = Message(0, 1, size_flits=20)
+    m.packets_total = 2
+    assert not m.complete
+    m.packets_delivered = 2
+    assert m.complete

@@ -1,0 +1,97 @@
+"""Tests for the algorithm registry (Tables 1 & 2) and the DAL analysis."""
+
+import pytest
+
+from repro.core.dal_analysis import DalThroughputModel, paper_quoted_points
+from repro.core.registry import (
+    ALGORITHM_DESCRIPTIONS,
+    PAPER_ALGORITHMS,
+    algorithm_names,
+    make_algorithm,
+    table1_rows,
+)
+from repro.topology.hyperx import HyperX
+from repro.traffic.sizes import FixedSize, UniformSize
+
+
+def test_registry_covers_paper_lineup():
+    assert set(PAPER_ALGORITHMS) == {"DOR", "VAL", "UGAL", "UGAL+", "DimWAR",
+                                     "OmniWAR"}
+    for name in PAPER_ALGORITHMS:
+        assert name in algorithm_names()
+        assert name in ALGORITHM_DESCRIPTIONS
+
+
+def test_make_algorithm_unknown():
+    topo = HyperX((3, 3), 1)
+    with pytest.raises(ValueError):
+        make_algorithm("WARP-10", topo)
+    with pytest.raises(ValueError):
+        make_algorithm("DOR", topo, deroutes=2)  # DOR takes no kwargs
+
+
+def test_make_algorithm_names_match():
+    topo = HyperX((3, 3, 3), 1)
+    for name in PAPER_ALGORITHMS:
+        algo = make_algorithm(name, topo)
+        assert algo.name == name
+
+
+def test_table1_reproduces_paper_rows():
+    rows = {r["name"]: r for r in table1_rows(num_dims=3)}
+    assert set(rows) == {"UGAL", "Clos-AD", "DAL", "DimWAR", "OmniWAR"}
+    # the paper's Table 1 facts
+    assert rows["UGAL"]["routing_style"] == "source"
+    assert rows["UGAL"]["vcs_required"] == 2
+    assert rows["UGAL"]["packet_contents"] == "int. addr."
+    assert rows["Clos-AD"]["architecture_requirements"] == "seq. alloc."
+    assert rows["DAL"]["vcs_required"] == "1+1e"
+    assert rows["DAL"]["deadlock_handling"] == "escape paths"
+    assert rows["DimWAR"]["routing_style"] == "incremental"
+    assert rows["DimWAR"]["vcs_required"] == 2  # regardless of dimensions
+    assert rows["DimWAR"]["packet_contents"] == "none"
+    assert rows["OmniWAR"]["vcs_required"] == 6  # N + M with N = M = 3
+    assert rows["OmniWAR"]["packet_contents"] == "none"
+    assert rows["OmniWAR"]["dimension_ordered"] is False
+
+
+def test_dimwar_vcs_independent_of_dims():
+    for dims in (1, 2, 3, 4):
+        rows = {r["name"]: r for r in table1_rows(num_dims=dims)}
+        assert rows["DimWAR"]["vcs_required"] == 2
+
+
+# ---------------------------------------------------------------------------
+# DAL
+# ---------------------------------------------------------------------------
+
+
+def test_dal_paper_quoted_caps():
+    """Section 4.2: 'the maximum achievable throughput is 8% for single flit
+    packets and 68% for randomly sized packets between 1 and 16 flits'."""
+    pts = paper_quoted_points()
+    assert pts["single_flit"] == pytest.approx(0.08)
+    assert pts["uniform_1_16"] == pytest.approx(0.68)
+
+
+def test_dal_formula():
+    m = DalThroughputModel(num_vcs=8, credit_round_trip=100)
+    assert m.max_throughput(1) == pytest.approx(8 * 1 / 100)
+    assert m.max_throughput_dist(FixedSize(1)) == m.max_throughput(1)
+    assert m.max_throughput_dist(UniformSize(1, 16)) == pytest.approx(0.68)
+
+
+def test_dal_cap_saturates_at_one():
+    m = DalThroughputModel(num_vcs=8, credit_round_trip=10)
+    assert m.max_throughput(100) == 1.0
+
+
+def test_dal_rejects_bad_size():
+    with pytest.raises(ValueError):
+        DalThroughputModel().max_throughput(0)
+
+
+def test_dal_longer_round_trip_hurts():
+    a = DalThroughputModel(credit_round_trip=50).max_throughput(4)
+    b = DalThroughputModel(credit_round_trip=200).max_throughput(4)
+    assert a > b

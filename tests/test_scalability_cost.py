@@ -1,0 +1,204 @@
+"""Tests for the Figure 2 scalability models and the Figure 3 cost model."""
+
+import pytest
+
+from repro.cost.model import (
+    figure3_points,
+    inventory_cost,
+    size_dragonfly,
+    size_hyperx,
+)
+from repro.cost.packaging import (
+    CableInventory,
+    dragonfly_inventory,
+    hyperx_inventory,
+    rack_distance_m,
+)
+from repro.cost.technologies import (
+    ELECTRICAL_REACH_M,
+    ElectricalAoc,
+    PassiveOptical,
+    paper_technologies,
+)
+from repro.topology.scalability import (
+    dragonfly_max_nodes,
+    fattree_max_nodes,
+    figure2_points,
+    hypercube_max_nodes,
+    hyperx_max_nodes,
+    slimfly_max_nodes,
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+
+def test_paper_quoted_hyperx_figures_at_radix_64():
+    """Section 3.1: 'With a 64-port router, the HyperX topology is able to
+    build 10,648 nodes in 2 dimensions, 78,608 nodes in 3 dimensions, and
+    463,736 nodes in 4 dimensions.'"""
+    assert hyperx_max_nodes(64, 2)[0] == 10_648
+    assert hyperx_max_nodes(64, 3)[0] == 78_608
+    assert hyperx_max_nodes(64, 4)[0] == 463_736
+
+
+def test_hyperx_optimum_respects_radix():
+    for radix in (16, 32, 64, 128):
+        for dims in (2, 3, 4):
+            nodes, widths, t = hyperx_max_nodes(radix, dims)
+            assert sum(w - 1 for w in widths) + t <= radix
+            assert t >= 1 and all(w >= 2 for w in widths)
+
+
+def test_hyperx_4d_uses_mixed_widths_at_64():
+    _, widths, _ = hyperx_max_nodes(64, 4)
+    assert len(set(widths)) > 1  # the 4D optimum is not a regular HyperX
+
+
+def test_dragonfly_matches_closed_form():
+    nodes, h = dragonfly_max_nodes(63)  # radix 4h-1 with h=16
+    assert h == 16
+    assert nodes == 32 * 16 * (32 * 16 + 1)
+
+
+def test_fattree_formula():
+    assert fattree_max_nodes(64, 3) == 2 * 32**3
+    assert fattree_max_nodes(4, 2) == 8
+
+
+def test_slimfly_reasonable():
+    nodes, q = slimfly_max_nodes(64)
+    assert q > 0 and nodes > 10_000
+    # MMS network radix fits
+    delta = 1 if (q - 1) % 4 == 0 else (-1 if (q + 1) % 4 == 0 else 0)
+    k_net = (3 * q - delta) // 2
+    assert k_net < 64
+
+
+def test_hypercube():
+    nodes, dims, t = hypercube_max_nodes(8)
+    assert sum((dims, t)) <= 8 and nodes == 2**dims * t
+
+
+def test_figure2_monotone_in_radix():
+    """More ports never means fewer max nodes, for every family."""
+    prev = {}
+    for radix in (24, 32, 48, 64):
+        for p in figure2_points(radix):
+            if p.topology in prev:
+                assert p.nodes >= prev[p.topology]
+            prev[p.topology] = p.nodes
+
+
+def test_figure2_diameter_ordering_at_fixed_radix():
+    """Higher-diameter HyperX scales further (the figure's visual point)."""
+    pts = {p.topology: p.nodes for p in figure2_points(64)}
+    assert pts["HyperX-2"] < pts["HyperX-3"] < pts["HyperX-4"]
+    assert pts["SlimFly-2"] > pts["HyperX-2"]  # diameter-2 optimum
+
+
+# ---------------------------------------------------------------------------
+# Technologies
+# ---------------------------------------------------------------------------
+
+
+def test_reach_table_matches_paper():
+    assert ELECTRICAL_REACH_M == {2.5: 8.0, 10.0: 5.0, 25.0: 3.0, 50.0: 2.0, 100.0: 1.0}
+
+
+def test_dac_vs_aoc_switch_at_reach():
+    tech = ElectricalAoc.at_rate(25.0)
+    below = tech.cable_cost(2.9)
+    above = tech.cable_cost(3.1)
+    assert above > below + 20  # AOC premium kicks in past 3 m
+
+
+def test_passive_optical_is_cheap_and_length_insensitive():
+    po = PassiveOptical(name="po")
+    aoc = ElectricalAoc.at_rate(100.0)
+    assert po.cable_cost(10.0) < aoc.cable_cost(10.0) / 2
+    assert po.cable_cost(20.0) - po.cable_cost(10.0) < 15
+
+
+def test_technology_validation():
+    with pytest.raises(ValueError):
+        ElectricalAoc.at_rate(17.0)
+    with pytest.raises(ValueError):
+        PassiveOptical(name="po").cable_cost(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Packaging
+# ---------------------------------------------------------------------------
+
+
+def test_rack_distance():
+    assert rack_distance_m((0, 0), (0, 0)) == 1.0  # in-rack
+    assert rack_distance_m((0, 0), (0, 3)) == pytest.approx(3 * 0.6 + 2.0)
+    assert rack_distance_m((2, 0), (0, 0)) == pytest.approx(2 * 1.5 + 2.0)
+
+
+def test_hyperx_inventory_counts():
+    w = 4
+    inv = hyperx_inventory((w, w, w), w)
+    # undirected cables: 3 dims x C(w,2) per line x w^2 lines
+    expected = 3 * (w * (w - 1) // 2) * w * w
+    assert inv.num_cables == expected
+
+
+def test_dragonfly_inventory_counts():
+    p, a, h = 2, 4, 2
+    g = a * h + 1
+    inv = dragonfly_inventory(p, a, h)
+    expected = g * (a * (a - 1) // 2) + g * (g - 1) // 2
+    assert inv.num_cables == expected
+
+
+def test_inventory_validation():
+    inv = CableInventory()
+    with pytest.raises(ValueError):
+        inv.add(0.0)
+    with pytest.raises(ValueError):
+        inv.add(1.0, 0)
+    inv.add(2.5, 3)
+    assert inv.num_cables == 3
+    assert inv.total_length_m == pytest.approx(7.5)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+
+def test_sizing_helpers():
+    hx = size_hyperx(4096)
+    assert hx.width == 8 and hx.nodes == 4096 and hx.radix == 29
+    df = size_dragonfly(4096)
+    assert df.nodes >= 4096
+
+
+def test_figure3_paper_shape():
+    """The Section 3.1 claims: DF ~10% cheaper with modern copper+AOC at
+    scale; HyperX lower or equal with passive optics."""
+    pts = figure3_points(target_sizes=[65536, 262144])
+    for p in pts:
+        if p.technology == "DAC/AOC@25GHz":
+            assert 0.70 < p.relative_cost < 1.0  # Dragonfly cheaper
+        if p.technology == "passive-optical":
+            assert p.relative_cost >= 0.98  # HyperX lower or equal (within 2%)
+
+
+def test_figure3_relative_cost_is_ratio():
+    p = figure3_points(target_sizes=[4096])[0]
+    assert p.relative_cost == pytest.approx(
+        p.dragonfly_cost_per_node / p.hyperx_cost_per_node
+    )
+
+
+def test_inventory_cost_adds_up():
+    inv = CableInventory()
+    inv.add(1.0, 10)
+    tech = PassiveOptical(name="po")
+    assert inventory_cost(inv, tech) == pytest.approx(10 * tech.cable_cost(1.0))

@@ -1,0 +1,100 @@
+"""Tests for phased traffic and the transient-response experiment."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.experiments.transient import TransientSeries, run_transient
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.topology.hyperx import HyperX
+from repro.traffic.patterns import BitComplement, UniformRandom
+from repro.traffic.switching import PhasedTraffic
+
+
+def _net():
+    topo = HyperX((3, 3), 2)
+    net = Network(topo, make_algorithm("DimWAR", topo), default_config())
+    return topo, net
+
+
+def test_phased_traffic_switches_pattern():
+    topo, net = _net()
+    ur = UniformRandom(topo.num_terminals)
+    bc = BitComplement(topo.num_terminals)
+    tr = PhasedTraffic(net, [(0, ur), (100, bc)], rate=0.3, seed=1)
+    assert tr.current_pattern(0) is ur
+    assert tr.current_pattern(99) is ur
+    assert tr.current_pattern(100) is bc
+    assert tr.current_pattern(5000) is bc
+
+
+def test_phased_traffic_generates_bc_after_switch():
+    topo, net = _net()
+    sim = Simulator(net)
+    bc = BitComplement(topo.num_terminals)
+    tr = PhasedTraffic(
+        net, [(0, UniformRandom(topo.num_terminals)), (200, bc)],
+        rate=0.5, seed=2,
+    )
+    sim.processes.append(tr)
+    delivered = []
+    for t in net.terminals:
+        t.delivery_listeners.append(lambda p, c: delivered.append(p))
+    sim.run(600)
+    tr.stop()
+    sim.drain(max_cycles=50_000)
+    late = [p for p in delivered if p.create_cycle >= 250]
+    assert late
+    n = topo.num_terminals
+    assert all(p.dst_terminal == n - 1 - p.src_terminal for p in late)
+
+
+def test_phased_traffic_validation():
+    topo, net = _net()
+    ur = UniformRandom(topo.num_terminals)
+    with pytest.raises(ValueError):
+        PhasedTraffic(net, [], rate=0.3)
+    with pytest.raises(ValueError):
+        PhasedTraffic(net, [(10, ur)], rate=0.3)  # must start at 0
+    with pytest.raises(ValueError):
+        PhasedTraffic(net, [(0, ur), (0, ur)], rate=0.3)  # not increasing
+    with pytest.raises(ValueError):
+        PhasedTraffic(net, [(0, ur)], rate=1.5)
+    with pytest.raises(ValueError):
+        PhasedTraffic(net, [(0, UniformRandom(4))], rate=0.3)  # wrong size
+
+
+def test_transient_series_settling():
+    s = TransientSeries(algorithm="X", window=100, switch_cycle=300)
+    s.windows = [
+        (0, 40.0, 0.0, 50),
+        (100, 40.0, 0.0, 50),
+        (200, 40.0, 0.0, 50),
+        (300, 200.0, 0.5, 50),  # switch: spike
+        (400, 90.0, 0.4, 50),
+        (500, 60.0, 0.4, 50),
+        (600, 58.0, 0.4, 50),
+    ]
+    # 90 > 1.3 x 58, so the run settles at the 500-window
+    assert s.settling_window() == 500
+    assert s.settling_time() == 200
+    assert s.pre_switch_deroutes() == pytest.approx(0.0)
+    assert s.post_switch_deroutes() == pytest.approx(0.425)
+
+
+def test_transient_series_never_settles():
+    s = TransientSeries(algorithm="X", window=100, switch_cycle=100)
+    s.windows = [(0, 40.0, 0.0, 50), (100, 100.0, 0.1, 50)]
+    assert s.settling_window() is None
+
+
+def test_run_transient_end_to_end():
+    series = run_transient(
+        "DimWAR", scale="smoke", rate=0.25, window=200,
+        pre_windows=3, post_windows=4, seed=1,
+    )
+    assert len(series.windows) == 7
+    assert series.switch_cycle == 600
+    # deroutes ramp once the adversarial phase begins
+    assert series.post_switch_deroutes() > series.pre_switch_deroutes()

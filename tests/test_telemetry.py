@@ -1,0 +1,104 @@
+"""Tests for network telemetry (link utilization, congestion maps)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.telemetry import TelemetryProbe
+from repro.network.types import Packet
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import DimensionComplementReverse, UniformRandom
+
+
+def _sim(widths=(3, 3), tpr=2, algo="DOR"):
+    topo = HyperX(widths, tpr)
+    net = Network(topo, make_algorithm(algo, topo), default_config())
+    return topo, net, Simulator(net)
+
+
+def test_idle_network_zero_utilization():
+    topo, net, sim = _sim()
+    probe = TelemetryProbe(net)
+    probe.start_window(0)
+    sim.run(100)
+    s = probe.utilization_summary(sim.cycle)
+    assert s["max"] == 0.0 and s["mean"] == 0.0
+    assert probe.oversubscription_ratio(sim.cycle) == 1.0
+
+
+def test_utilization_tracks_traffic():
+    topo, net, sim = _sim()
+    probe = TelemetryProbe(net)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.4, seed=1)
+    sim.processes.append(traffic)
+    sim.run(500)
+    probe.start_window(sim.cycle)
+    sim.run(500)
+    s = probe.utilization_summary(sim.cycle)
+    assert 0.0 < s["mean"] < 1.0
+    assert s["max"] <= 1.0
+    assert s["min"] <= s["p95"] <= s["max"]
+
+
+def test_single_flow_lights_one_link():
+    topo, net, sim = _sim()
+    probe = TelemetryProbe(net)
+    probe.start_window(0)
+    # one long packet router 0 -> neighbor in dim 0
+    nbr = topo.peer(0, 0).router_port.router
+    net.terminals[0].offer(Packet(0, nbr * 2, 16, create_cycle=0))
+    sim.drain(max_cycles=2000)
+    hot = probe.hottest_links(sim.cycle, n=1)[0]
+    assert hot.src_router == 0
+    assert hot.flits == 16
+    assert probe.oversubscription_ratio(sim.cycle) > 5
+
+
+def test_dimension_utilization_reflects_dcr_funnel():
+    """Under DCR with DOR, the Y dimension funnels an X-line's traffic —
+    it must be the most (or equally most) utilized dimension."""
+    topo, net, sim = _sim(widths=(3, 3, 3), tpr=2, algo="DOR")
+    probe = TelemetryProbe(net)
+    traffic = SyntheticTraffic(
+        net, DimensionComplementReverse(topo), 0.15, seed=2
+    )
+    sim.processes.append(traffic)
+    sim.run(400)
+    probe.start_window(sim.cycle)
+    sim.run(800)
+    util = probe.dimension_utilization(sim.cycle)
+    assert set(util) == {0, 1, 2}
+    assert all(0.0 <= u <= 1.0 for u in util.values())
+    assert max(util.values()) > 0.0
+
+
+def test_dimension_utilization_requires_hyperx():
+    from repro.core.fattree_routing import FatTreeAdaptive
+    from repro.topology.fattree import FatTree
+
+    ft = FatTree(2, 2)
+    net = Network(ft, FatTreeAdaptive(ft), default_config())
+    probe = TelemetryProbe(net)
+    probe.start_window(0)
+    with pytest.raises(TypeError):
+        probe.dimension_utilization(0)
+
+
+def test_buffer_occupancy_and_class_breakdown():
+    topo, net, sim = _sim(widths=(3, 3), tpr=2, algo="DimWAR")
+    probe = TelemetryProbe(net)
+    occ0 = probe.buffer_occupancy()
+    assert occ0 == {"mean": 0.0, "max": 0.0}
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.8, seed=3)
+    sim.processes.append(traffic)
+    sim.run(600)
+    occ = probe.buffer_occupancy()
+    assert occ["max"] >= 1.0
+    by_class = probe.vc_occupancy_by_class()
+    assert set(by_class) == {0, 1}  # DimWAR's two resource classes
+    assert sum(by_class.values()) > 0
+    # minimal hops dominate: class 0 carries most of the buffered flits
+    assert by_class[0] >= by_class[1]

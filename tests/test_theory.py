@@ -1,0 +1,97 @@
+"""Tests that the simulator lands where the closed-form math says it must."""
+
+import pytest
+
+from repro.analysis.sweep import measure_point
+from repro.analysis.theory import (
+    dor_cap_bit_complement,
+    dor_cap_dcr,
+    dor_cap_urb,
+    max_hops,
+    mean_min_hops_uniform,
+    zero_load_latency,
+)
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.types import Packet
+from repro.topology.hyperx import HyperX, paper_hyperx
+from repro.traffic.patterns import BitComplement, UniformRandom
+from repro.traffic.sizes import FixedSize
+
+
+def test_paper_network_caps():
+    """The paper's own numbers: 12.5% minimal cap on URBy/BC, 1.56% on DCR."""
+    hx = paper_hyperx()
+    assert dor_cap_bit_complement(hx) == pytest.approx(0.125)
+    assert dor_cap_urb(hx, 1) == pytest.approx(0.125)
+    assert dor_cap_dcr(hx) == pytest.approx(1 / 64)  # the quoted 1.56%
+
+
+def test_mean_min_hops():
+    hx = HyperX((4, 4), 1)
+    assert mean_min_hops_uniform(hx) == pytest.approx(2 * 3 / 4)
+    assert mean_min_hops_uniform(paper_hyperx()) == pytest.approx(3 * 7 / 8)
+
+
+def test_max_hops_table():
+    hx = HyperX((4, 4, 4), 2)
+    assert max_hops(hx, "DOR") == 3
+    assert max_hops(hx, "VAL") == 6
+    assert max_hops(hx, "UGAL+") == 4
+    assert max_hops(hx, "DimWAR") == 6
+    assert max_hops(hx, "OmniWAR") == 6
+    assert max_hops(hx, "OmniWAR", deroutes=1) == 4
+    with pytest.raises(ValueError):
+        max_hops(hx, "WARP")
+
+
+def test_zero_load_latency_bound_matches_simulator():
+    """Single packets at zero load land inside the analytic bounds."""
+    topo = HyperX((3, 3), 2)
+    cfg = default_config()
+    for dst_router, size in [(1, 1), (4, 8), (8, 16)]:
+        net = Network(topo, make_algorithm("DOR", topo), cfg)
+        sim = Simulator(net)
+        p = Packet(0, dst_router * 2, size, create_cycle=0)
+        net.terminals[0].offer(p)
+        assert sim.drain(max_cycles=5000)
+        hops = topo.min_hops(0, dst_router)
+        lo, hi = zero_load_latency(cfg, hops, size)
+        assert lo <= p.latency <= hi, (dst_router, size, p.latency, (lo, hi))
+
+
+def test_mean_hops_matches_simulated_uniform():
+    topo = HyperX((3, 3), 2)
+    algo = make_algorithm("DOR", topo)
+    r = measure_point(
+        topo, algo, UniformRandom(topo.num_terminals), 0.1,
+        total_cycles=4000, seed=2, size_dist=FixedSize(2),
+    )
+    # UR excludes self-terminal, slightly raising hops vs the all-dest model
+    assert r.mean_hops == pytest.approx(mean_min_hops_uniform(topo), abs=0.15)
+
+
+def test_dor_bc_cap_observed():
+    """Offered load above the 1/T cap must saturate; below must not."""
+    topo = HyperX((3, 3), 2)  # cap = 0.5
+    cap = dor_cap_bit_complement(topo)
+    algo = make_algorithm("DOR", topo)
+    bc = BitComplement(topo.num_terminals)
+    below = measure_point(topo, algo, bc, 0.8 * cap, total_cycles=3000, seed=2)
+    assert below.stable
+    above = measure_point(topo, algo, bc, 1.3 * cap, total_cycles=3000, seed=2)
+    assert not above.stable
+    assert above.accepted_rate < 1.15 * cap
+
+
+def test_zero_load_validation():
+    with pytest.raises(ValueError):
+        zero_load_latency(default_config(), -1, 1)
+    with pytest.raises(ValueError):
+        zero_load_latency(default_config(), 2, 0)
+    with pytest.raises(ValueError):
+        dor_cap_urb(HyperX((3, 3), 1), 5)
+    with pytest.raises(ValueError):
+        dor_cap_dcr(HyperX((3, 3), 1))

@@ -1,0 +1,315 @@
+"""Tests for the Table 3 traffic patterns, size distributions, and injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.hyperx import HyperX
+from repro.traffic.patterns import (
+    BitComplement,
+    DimensionComplementReverse,
+    Hotspot,
+    RandomPermutation,
+    Swap2,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    UniformRandomBisection,
+    paper_patterns,
+)
+from repro.traffic.sizes import BimodalSize, FixedSize, UniformSize
+
+
+RNG = np.random.default_rng(0)
+
+
+def _coords_of(topo, terminal):
+    return topo.coords(terminal // topo.terminals_per_router)
+
+
+# ---------------------------------------------------------------------------
+# UR
+# ---------------------------------------------------------------------------
+
+
+def test_ur_never_self_and_in_range():
+    ur = UniformRandom(16)
+    for src in range(16):
+        for _ in range(50):
+            d = ur.dest(src, RNG)
+            assert 0 <= d < 16 and d != src
+
+
+def test_ur_is_roughly_uniform():
+    ur = UniformRandom(8)
+    counts = np.zeros(8)
+    for _ in range(4000):
+        counts[ur.dest(3, RNG)] += 1
+    assert counts[3] == 0
+    others = counts[counts > 0]
+    assert others.min() > 0.7 * others.max()
+
+
+# ---------------------------------------------------------------------------
+# BC
+# ---------------------------------------------------------------------------
+
+
+def test_bc_is_involution():
+    bc = BitComplement(64)
+    for src in range(64):
+        d = bc.dest(src, RNG)
+        assert bc.dest(d, RNG) == src
+        assert d != src
+    assert bc.is_deterministic()
+
+
+def test_bc_matches_bitwise_complement_for_power_of_two():
+    bc = BitComplement(16)
+    for src in range(16):
+        assert bc.dest(src, RNG) == (~src) & 15
+
+
+# ---------------------------------------------------------------------------
+# URB
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dim", [0, 1, 2])
+def test_urb_complements_target_dim_only(dim):
+    topo = HyperX((4, 4, 4), 2)
+    urb = UniformRandomBisection(topo, dim)
+    for src in range(0, topo.num_terminals, 7):
+        sc = _coords_of(topo, src)
+        seen_other = set()
+        for _ in range(30):
+            d = urb.dest(src, RNG)
+            dc = _coords_of(topo, d)
+            assert dc[dim] == topo.widths[dim] - 1 - sc[dim]
+            seen_other.add(dc[(dim + 1) % 3])
+        # other dimensions really are randomized
+        assert len(seen_other) > 1
+
+
+def test_urb_names():
+    topo = HyperX((4, 4, 4), 1)
+    assert UniformRandomBisection(topo, 0).name == "URBx"
+    assert UniformRandomBisection(topo, 1).name == "URBy"
+    assert UniformRandomBisection(topo, 2).name == "URBz"
+
+
+def test_urb_rejects_bad_dim():
+    topo = HyperX((4, 4), 1)
+    with pytest.raises(ValueError):
+        UniformRandomBisection(topo, 2)
+
+
+# ---------------------------------------------------------------------------
+# S2
+# ---------------------------------------------------------------------------
+
+
+def test_s2_even_swaps_x_odd_swaps_y():
+    topo = HyperX((4, 4), 2)
+    s2 = Swap2(topo)
+    assert s2.is_deterministic()
+    for src in range(topo.num_terminals):
+        sc = _coords_of(topo, src)
+        dc = _coords_of(topo, s2.dest(src, RNG))
+        if src % 2 == 0:
+            assert dc[0] == 3 - sc[0] and dc[1] == sc[1]
+        else:
+            assert dc[1] == 3 - sc[1] and dc[0] == sc[0]
+
+
+def test_s2_preserves_local_terminal_index():
+    topo = HyperX((4, 4), 4)
+    s2 = Swap2(topo)
+    for src in range(topo.num_terminals):
+        assert s2.dest(src, RNG) % 4 == src % 4
+
+
+def test_s2_needs_two_dims():
+    with pytest.raises(ValueError):
+        Swap2(HyperX((4,), 2))
+
+
+# ---------------------------------------------------------------------------
+# DCR
+# ---------------------------------------------------------------------------
+
+
+def test_dcr_structure():
+    topo = HyperX((4, 4, 4), 2)
+    dcr = DimensionComplementReverse(topo)
+    for src in range(0, topo.num_terminals, 5):
+        x, y, z = _coords_of(topo, src)
+        zs = set()
+        for _ in range(40):
+            dx, dy, dz = _coords_of(topo, dcr.dest(src, RNG))
+            assert dx == 3 - z  # X destination from the source's Z (reversed)
+            assert dy == 3 - y  # Y complemented
+            zs.add(dz)
+        assert len(zs) > 1  # distributed across the Z line
+
+
+def test_dcr_is_admissible():
+    """No destination router is oversubscribed in expectation."""
+    topo = HyperX((4, 4, 4), 2)
+    dcr = DimensionComplementReverse(topo)
+    rng = np.random.default_rng(1)
+    recv = np.zeros(topo.num_routers)
+    sends_per_src = 30
+    for src in range(topo.num_terminals):
+        for _ in range(sends_per_src):
+            recv[dcr.dest(src, rng) // 2] += 1
+    expected = sends_per_src * 2  # T terminals' worth per router
+    assert recv.max() < 1.5 * expected
+    assert recv.min() > 0.5 * expected
+
+
+def test_dcr_oversubscription_under_dor():
+    """Table 3 / Fig 6f: DOR funnels an entire X-line's traffic (w*T
+    terminals) through the single Y-link at (C(z), y, z) -> (C(z), C(y), z)."""
+    topo = HyperX((4, 4, 4), 4)
+    dcr = DimensionComplementReverse(topo)
+    rng = np.random.default_rng(2)
+    # count DOR Y-hops per (router, dest-y) link
+    link_load = {}
+    for src in range(topo.num_terminals):
+        x, y, z = topo.coords(src // 4)
+        for _ in range(5):
+            dst = dcr.dest(src, rng)
+            dx, dy, dz = topo.coords(dst // 4)
+            # DOR: X first -> (dx, y, z), then Y-link (dx,y,z)->(dx,dy,z)
+            key = ((dx, y, z), dy)
+            link_load[key] = link_load.get(key, 0) + 1
+    # each used Y-link carries all w*T = 16 terminals of its X-line
+    loads = sorted(link_load.values())
+    # every source of a line sent 5 packets; the funnel link carries w*T*5
+    assert max(loads) == 4 * 4 * 5
+
+
+def test_dcr_needs_3d():
+    with pytest.raises(ValueError):
+        DimensionComplementReverse(HyperX((4, 4), 2))
+
+
+# ---------------------------------------------------------------------------
+# Extra patterns
+# ---------------------------------------------------------------------------
+
+
+def test_tornado_half_shift():
+    topo = HyperX((4, 4), 1)
+    tor = Tornado(topo, 0)
+    for src in range(topo.num_terminals):
+        sc, dc = _coords_of(topo, src), _coords_of(topo, tor.dest(src, RNG))
+        assert dc[0] == (sc[0] + 2) % 4 and dc[1] == sc[1]
+
+
+def test_transpose():
+    tp = Transpose(16)
+    assert tp.dest(0b0001, RNG) == 0b0100
+    assert tp.dest(tp.dest(11, RNG), RNG) == 11
+    with pytest.raises(ValueError):
+        Transpose(8)  # not 4^k
+
+
+def test_random_permutation_is_derangement_bijection():
+    p = RandomPermutation(32, seed=5)
+    dests = [p.dest(s, RNG) for s in range(32)]
+    assert sorted(dests) == list(range(32))
+    assert all(d != s for s, d in enumerate(dests))
+
+
+def test_hotspot_targets_hot_set():
+    hs = Hotspot(32, hot=[3], fraction=1.0)
+    assert all(hs.dest(s, RNG) == 3 for s in range(32) if s != 3)
+    assert hs.dest(3, RNG) != 3
+
+
+def test_paper_patterns_lineup():
+    topo = HyperX((4, 4, 4), 2)
+    pats = paper_patterns(topo)
+    assert set(pats) == {"UR", "BC", "URBx", "URBy", "S2", "DCR"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_all_patterns_stay_in_range(data):
+    topo = HyperX((4, 4, 4), 2)
+    pats = paper_patterns(topo)
+    name = data.draw(st.sampled_from(sorted(pats)))
+    src = data.draw(st.integers(0, topo.num_terminals - 1))
+    d = pats[name].dest(src, RNG)
+    assert 0 <= d < topo.num_terminals
+    assert d != src  # all six paper patterns route off-node
+
+
+# ---------------------------------------------------------------------------
+# Size distributions
+# ---------------------------------------------------------------------------
+
+
+def test_fixed_size():
+    fs = FixedSize(4)
+    assert fs.mean == 4 and fs.max_size == 4
+    assert all(fs.sample(RNG) == 4 for _ in range(10))
+    with pytest.raises(ValueError):
+        FixedSize(0)
+
+
+def test_uniform_size_paper_range():
+    us = UniformSize(1, 16)
+    assert us.mean == 8.5  # the paper's random 1..16 flit packets
+    samples = [us.sample(RNG) for _ in range(2000)]
+    assert min(samples) == 1 and max(samples) == 16
+    assert abs(np.mean(samples) - 8.5) < 0.5
+
+
+def test_bimodal_size():
+    bs = BimodalSize(1, 16, long_fraction=0.25)
+    assert bs.mean == pytest.approx(0.25 * 16 + 0.75 * 1)
+    assert set(bs.sample(RNG) for _ in range(200)) == {1, 16}
+
+
+# ---------------------------------------------------------------------------
+# Property tests for topology-structured patterns
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    widths=st.tuples(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5)),
+    tpr=st.integers(1, 4),
+    src_frac=st.floats(0, 0.999),
+)
+def test_property_urb_complements_exactly_one_dim(widths, tpr, src_frac):
+    topo = HyperX(widths, tpr)
+    src = int(src_frac * topo.num_terminals)
+    for dim in range(3):
+        urb = UniformRandomBisection(topo, dim)
+        d = urb.dest(src, RNG)
+        sc = topo.coords(src // tpr)
+        dc = topo.coords(d // tpr)
+        assert dc[dim] == widths[dim] - 1 - sc[dim]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    w=st.integers(2, 6),
+    tpr=st.sampled_from([2, 4, 8]),  # even T preserves terminal parity
+    src_frac=st.floats(0, 0.999),
+)
+def test_property_s2_is_involution_for_even_t(w, tpr, src_frac):
+    """With an even terminals-per-router count (the paper's T=8 included),
+    swap2 preserves terminal parity, so applying it twice is the identity.
+    (Odd T flips parity across routers and breaks the involution — which is
+    why the paper's pattern is stated for even-T configurations.)"""
+    topo = HyperX((w, w), tpr)
+    s2 = Swap2(topo)
+    src = int(src_frac * topo.num_terminals)
+    d = s2.dest(src, RNG)
+    assert s2.dest(d, RNG) == src
