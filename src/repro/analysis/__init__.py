@@ -10,20 +10,28 @@ from .theory import (
     mean_min_hops_uniform,
     zero_load_latency,
 )
+from .parallel import PointSpec, SweepProgress, point_specs, run_point, run_points
 from .sweep import (
     PointResult,
     SweepResult,
     measure_point,
+    nearest_rank_p99,
     saturation_throughput,
     sweep_load,
 )
 
 __all__ = [
     "measure_point",
+    "nearest_rank_p99",
     "sweep_load",
     "saturation_throughput",
     "PointResult",
     "SweepResult",
+    "PointSpec",
+    "SweepProgress",
+    "point_specs",
+    "run_point",
+    "run_points",
     "format_table",
     "to_csv",
     "write_csv",

@@ -1,0 +1,222 @@
+"""Parallel experiment engine: fan ``measure_point`` work units over cores.
+
+Every figure of the paper is a grid of independent
+``(algorithm, pattern, offered-load, seed)`` simulation points.  This module
+runs such grids on a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* a :class:`PointSpec` is a *picklable* description of one point — topology
+  parameters, algorithm name (+ kwargs), pattern name, rate, cycle budget,
+  config, and seed — reconstructed into live objects inside the worker
+  process by :func:`run_point`;
+* :func:`run_points` dispatches specs in order with a bounded speculative
+  window, collects results *in submission order*, and — when asked to stop
+  at the first unstable point (``sweep_load``'s ``stop_after_unstable``) —
+  cancels every not-yet-started future past it;
+* determinism: each point builds a fresh ``Network`` (router rngs derived
+  from ``cfg.seed``) and a fresh traffic process (rng from ``spec.seed``),
+  so the results are bit-identical no matter how many workers run them —
+  ``workers=1`` and ``workers=4`` produce byte-identical sweep JSON.
+
+Worker processes import this module, so :func:`run_point` must stay a
+module-level function (bound methods and closures do not pickle).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..config import SimConfig
+from ..topology.hyperx import HyperX
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.base import RoutingAlgorithm
+    from ..topology.base import Topology
+    from ..traffic.base import TrafficPattern
+    from ..traffic.sizes import SizeDistribution
+    from .sweep import PointResult
+
+#: progress callback: (index, total, result) — invoked in submission order.
+ProgressFn = Callable[[int, int, "PointResult"], None]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Picklable description of one ``measure_point`` work unit.
+
+    Carries names and parameters rather than live objects: the worker
+    rebuilds the topology, algorithm, and pattern from them, which keeps the
+    spec small on the wire and sidesteps pickling simulator internals.
+    """
+
+    widths: tuple[int, ...]
+    terminals_per_router: int
+    algorithm: str
+    pattern: str
+    rate: float
+    total_cycles: int = 6000
+    seed: int = 1
+    cfg: SimConfig | None = None
+    size_dist: "SizeDistribution | None" = None
+    algorithm_kwargs: tuple[tuple[str, Any], ...] = field(default=())
+
+
+def run_point(spec: PointSpec) -> "PointResult":
+    """Reconstruct one point from its spec and measure it (worker entry)."""
+    from ..core.registry import make_algorithm
+    from ..traffic.patterns import pattern_by_name
+    from .sweep import measure_point
+
+    topo = HyperX(tuple(spec.widths), spec.terminals_per_router)
+    algorithm = make_algorithm(spec.algorithm, topo, **dict(spec.algorithm_kwargs))
+    pattern = pattern_by_name(spec.pattern, topo)
+    return measure_point(
+        topo,
+        algorithm,
+        pattern,
+        spec.rate,
+        total_cycles=spec.total_cycles,
+        cfg=spec.cfg,
+        size_dist=spec.size_dist,
+        seed=spec.seed,
+    )
+
+
+def point_specs(
+    topology: "Topology",
+    algorithm: "RoutingAlgorithm",
+    pattern: "TrafficPattern",
+    rates: Sequence[float],
+    total_cycles: int = 6000,
+    cfg: SimConfig | None = None,
+    size_dist: "SizeDistribution | None" = None,
+    seed: int = 1,
+) -> list[PointSpec]:
+    """Turn live sweep arguments into one spec per offered load.
+
+    Raises ``ValueError`` when the arguments cannot be expressed as a
+    picklable spec: non-HyperX topologies, algorithms not in the registry,
+    or patterns :func:`~repro.traffic.patterns.pattern_by_name` cannot
+    rebuild.  Those combinations still work on the serial path.
+    """
+    from ..core.registry import algorithm_names
+    from ..traffic.patterns import pattern_by_name
+
+    if not isinstance(topology, HyperX):
+        raise ValueError(
+            "parallel sweeps reconstruct the topology in the worker and "
+            f"support HyperX only, not {type(topology).__name__}"
+        )
+    if algorithm.name not in algorithm_names():
+        raise ValueError(
+            f"algorithm {algorithm.name!r} is not in the registry; the "
+            "worker cannot reconstruct it"
+        )
+    algo_kwargs: dict[str, Any] = {}
+    deroutes = getattr(algorithm, "deroutes", None)
+    if deroutes is not None and deroutes != topology.num_dims:
+        algo_kwargs["deroutes"] = deroutes
+    # Fail fast in the parent if the pattern name does not round-trip.
+    pattern_by_name(pattern.name, topology)
+    return [
+        PointSpec(
+            widths=tuple(topology.widths),
+            terminals_per_router=topology.terminals_per_router,
+            algorithm=algorithm.name,
+            pattern=pattern.name,
+            rate=rate,
+            total_cycles=total_cycles,
+            cfg=cfg,
+            size_dist=size_dist,
+            seed=seed,
+            algorithm_kwargs=tuple(sorted(algo_kwargs.items())),
+        )
+        for rate in rates
+    ]
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    workers: int = 1,
+    stop_on_unstable: bool = False,
+    speculation: int | None = None,
+    progress: ProgressFn | None = None,
+) -> list["PointResult"]:
+    """Run specs in order, optionally in parallel, collecting ordered results.
+
+    With ``stop_on_unstable`` the returned list ends at the first unstable
+    point, exactly like the serial sweep.  In parallel mode the runner keeps
+    ``workers + speculation`` futures outstanding (speculatively dispatching
+    rates past the newest confirmed-stable one) and cancels everything not
+    yet started once the first unstable point is known; results for
+    cancelled or discarded rates are never returned, so output is identical
+    for any worker count.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    n = len(specs)
+    if n == 0:
+        return []
+    if speculation is None:
+        speculation = max(workers, 2)
+
+    results: list["PointResult"] = []
+    if workers == 1:
+        for i, spec in enumerate(specs):
+            point = run_point(spec)
+            if progress is not None:
+                progress(i, n, point)
+            results.append(point)
+            if stop_on_unstable and not point.stable:
+                break
+        return results
+
+    window = workers + speculation
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {i: pool.submit(run_point, specs[i]) for i in range(min(window, n))}
+        next_submit = len(futures)
+        try:
+            for i in range(n):
+                point = futures.pop(i).result()
+                if progress is not None:
+                    progress(i, n, point)
+                results.append(point)
+                if stop_on_unstable and not point.stable:
+                    break
+                if next_submit < n:
+                    futures[next_submit] = pool.submit(run_point, specs[next_submit])
+                    next_submit += 1
+        finally:
+            for f in futures.values():
+                f.cancel()
+    return results
+
+
+class SweepProgress:
+    """Simple progress/timing reporter for :func:`run_points`.
+
+    Prints one line per completed point — index, rate, verdict, and the
+    point's wall-clock — to ``write`` (default: stderr via ``print``).
+    """
+
+    def __init__(self, label: str = "", write: Callable[[str], None] | None = None):
+        self.label = label
+        self._write = write
+        self._started = time.perf_counter()
+
+    def __call__(self, index: int, total: int, point: "PointResult") -> None:
+        status = "stable" if point.stable else f"SATURATED ({point.reason})"
+        elapsed = time.perf_counter() - self._started
+        line = (
+            f"[{self.label or 'sweep'}] point {index + 1}/{total} "
+            f"rate={point.offered_rate:.3f} {status} "
+            f"point={point.wall_clock_s:.2f}s elapsed={elapsed:.2f}s"
+        )
+        if self._write is not None:
+            self._write(line)
+        else:  # pragma: no cover - console convenience
+            import sys
+
+            print(line, file=sys.stderr)

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..config import SimConfig, default_config
 from ..network.network import Network
@@ -43,6 +44,11 @@ class PointResult:
     mean_deroutes: float
     packets_delivered: int
     cycles: int
+    # -- where simulation time goes (trailing defaults: older archives and
+    # positional constructions keep working) ------------------------------
+    routes_computed: int = 0  # routing decisions across all routers
+    route_stalls: int = 0  # cycles a head packet had no feasible candidate
+    wall_clock_s: float = 0.0  # host seconds for this point (NOT serialized)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         status = "stable" if self.stable else f"SATURATED ({self.reason})"
@@ -74,11 +80,18 @@ class SweepResult:
     # -- serialization (for archiving measured curves) -------------------
 
     def to_json(self) -> str:
+        points = []
+        for p in self.points:
+            d = asdict(p)
+            # Host timing is nondeterministic; keep archives (and the
+            # serial-vs-parallel byte-identity guarantee) reproducible.
+            d.pop("wall_clock_s", None)
+            points.append(d)
         return json.dumps(
             {
                 "algorithm": self.algorithm,
                 "pattern": self.pattern,
-                "points": [asdict(p) for p in self.points],
+                "points": points,
             },
             indent=2,
             allow_nan=True,
@@ -103,6 +116,19 @@ class SweepResult:
             return cls.from_json(f.read())
 
 
+def nearest_rank_p99(values: list[float]) -> float:
+    """Nearest-rank 99th percentile: ``sorted(values)[ceil(0.99 n) - 1]``.
+
+    The index is clamped to the last element for tiny windows.  (The earlier
+    truncating form ``int(0.99 n) - 1`` underestimates the rank: at n=100 it
+    picked index 97, i.e. the p98 sample.)
+    """
+    if not values:
+        return math.nan
+    idx = min(len(values) - 1, math.ceil(0.99 * len(values)) - 1)
+    return float(sorted(values)[idx])
+
+
 def measure_point(
     topology: "Topology",
     algorithm: "RoutingAlgorithm",
@@ -121,6 +147,7 @@ def measure_point(
     delivered by the end); accepted throughput counts flits ejected in the
     second half of the run.
     """
+    started = time.perf_counter()
     cfg = cfg or default_config()
     size_dist = size_dist or UniformSize(1, 16)
     net = Network(topology, algorithm, cfg)
@@ -159,11 +186,7 @@ def measure_point(
     window = [
         s for s in stats.samples if measure_start <= s.create_cycle < measure_end
     ]
-    p99 = (
-        sorted(s.latency for s in window)[max(0, int(0.99 * len(window)) - 1)]
-        if window
-        else math.nan
-    )
+    p99 = nearest_rank_p99([s.latency for s in window])
     hops = (sum(s.hops for s in window) / len(window)) if window else math.nan
     der = (sum(s.deroutes for s in window) / len(window)) if window else math.nan
     return PointResult(
@@ -177,6 +200,9 @@ def measure_point(
         mean_deroutes=der,
         packets_delivered=stats.packets_delivered,
         cycles=total_cycles,
+        routes_computed=sum(r.routes_computed for r in net.routers),
+        route_stalls=sum(r.route_stalls for r in net.routers),
+        wall_clock_s=time.perf_counter() - started,
     )
 
 
@@ -186,19 +212,47 @@ def sweep_load(
     pattern: "TrafficPattern",
     rates: list[float],
     stop_after_unstable: bool = True,
+    workers: int | None = None,
+    progress: "Callable[[int, int, PointResult], None] | None" = None,
     **kwargs,
 ) -> SweepResult:
     """Measure a list of offered loads in increasing order.
 
     With ``stop_after_unstable`` (the default, matching the paper's plots
     that end at saturation) the sweep stops at the first saturated point.
+
+    ``workers`` selects the execution engine.  ``None`` (default) is the
+    in-process serial path, reusing the caller's live objects.  Any integer
+    ``>= 1`` routes through :mod:`repro.analysis.parallel`: points are
+    described by picklable specs and each gets a freshly reconstructed
+    topology/algorithm/pattern, so results are bit-identical for every
+    worker count (``workers=1`` runs the same spec path serially).
+    ``progress`` (spec path only) is called as ``(index, total, point)``
+    after each point completes, in rate order.
     """
     result = SweepResult(algorithm=algorithm.name, pattern=pattern.name)
-    for rate in sorted(rates):
-        point = measure_point(topology, algorithm, pattern, rate, **kwargs)
-        result.points.append(point)
-        if stop_after_unstable and not point.stable:
-            break
+    ordered = sorted(rates)
+    if workers is None:
+        for i, rate in enumerate(ordered):
+            point = measure_point(topology, algorithm, pattern, rate, **kwargs)
+            if progress is not None:
+                progress(i, len(ordered), point)
+            result.points.append(point)
+            if stop_after_unstable and not point.stable:
+                break
+        return result
+
+    from .parallel import point_specs, run_points
+
+    if kwargs.pop("monitor", None) is not None:
+        raise ValueError("custom monitors are not supported with workers=N")
+    specs = point_specs(topology, algorithm, pattern, ordered, **kwargs)
+    result.points = run_points(
+        specs,
+        workers=workers,
+        stop_on_unstable=stop_after_unstable,
+        progress=progress,
+    )
     return result
 
 
@@ -208,17 +262,21 @@ def saturation_throughput(
     pattern: "TrafficPattern",
     granularity: float = 0.02,
     max_rate: float = 1.0,
+    workers: int | None = None,
     **kwargs,
 ) -> SweepResult:
     """Sweep offered load at fixed granularity until saturation (Fig 6g).
 
     The paper simulates with 2% injection-rate granularity; coarser values
-    trade precision for wall-clock time.
+    trade precision for wall-clock time.  ``workers=N`` fans the points out
+    across processes (see :func:`sweep_load`); rates past the first
+    saturated one are dispatched speculatively and discarded.
     """
     if not 0.0 < granularity <= max_rate:
         raise ValueError("granularity must be in (0, max_rate]")
     steps = int(max_rate / granularity + 1e-9)
     rates = [min(max_rate, round(granularity * i, 9)) for i in range(1, steps + 1)]
     return sweep_load(
-        topology, algorithm, pattern, rates, stop_after_unstable=True, **kwargs
+        topology, algorithm, pattern, rates, stop_after_unstable=True,
+        workers=workers, **kwargs
     )

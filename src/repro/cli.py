@@ -37,24 +37,27 @@ from .experiments import (
     table_area,
     transient,
 )
-from .experiments.common import SCALES, get_scale
+from .experiments.common import SCALES, get_scale, resolve_workers
 from .topology.hyperx import HyperX
+from .traffic.patterns import pattern_by_name
 
+# Each entry takes (scale, workers); only the sweep-grid figures can use
+# the worker pool, the rest ignore it.
 FIGURES = {
-    "fig1": lambda scale: fig1_paths.render(fig1_paths.run()),
-    "fig2": lambda scale: fig2_scalability.render(fig2_scalability.run()),
-    "fig3": lambda scale: fig3_cost.render(fig3_cost.run()),
-    "fig4": lambda scale: fig4_topologies.render(fig4_topologies.run(scale)),
-    "fig5": lambda scale: fig5_vcusage.render(fig5_vcusage.run()),
-    "fig6g": lambda scale: fig6_synthetic.render_throughput_chart(
-        fig6_synthetic.run_throughput_chart(scale=scale)
+    "fig1": lambda scale, workers: fig1_paths.render(fig1_paths.run()),
+    "fig2": lambda scale, workers: fig2_scalability.render(fig2_scalability.run()),
+    "fig3": lambda scale, workers: fig3_cost.render(fig3_cost.run()),
+    "fig4": lambda scale, workers: fig4_topologies.render(fig4_topologies.run(scale)),
+    "fig5": lambda scale, workers: fig5_vcusage.render(fig5_vcusage.run()),
+    "fig6g": lambda scale, workers: fig6_synthetic.render_throughput_chart(
+        fig6_synthetic.run_throughput_chart(scale=scale, workers=workers)
     ),
-    "fig7": lambda scale: fig7_model.run(),
-    "fig8": lambda scale: fig8_stencil.render(fig8_stencil.run(scale=scale)),
-    "table1": lambda scale: table1_comparison.render(table1_comparison.run()),
-    "irregular": lambda scale: irregular.render(irregular.run(scale=scale)),
-    "table_area": lambda scale: table_area.render(table_area.run()),
-    "transient": lambda scale: transient.render(transient.run(scale=scale)),
+    "fig7": lambda scale, workers: fig7_model.run(),
+    "fig8": lambda scale, workers: fig8_stencil.render(fig8_stencil.run(scale=scale)),
+    "table1": lambda scale, workers: table1_comparison.render(table1_comparison.run()),
+    "irregular": lambda scale, workers: irregular.render(irregular.run(scale=scale)),
+    "table_area": lambda scale, workers: table_area.render(table_area.run()),
+    "transient": lambda scale, workers: transient.render(transient.run(scale=scale)),
 }
 
 
@@ -76,6 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=[0.1, 0.2, 0.3, 0.4, 0.5])
     p.add_argument("--cycles", type=int, default=2500)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan load points over N worker processes "
+                   "(0 = all cores; default: serial)")
 
     p = sub.add_parser("stencil", help="27-point stencil run (Figure 8 style)")
     p.add_argument("--algorithms", nargs="+", default=list(PAPER_ALGORITHMS),
@@ -89,6 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper figure/table")
     p.add_argument("name", choices=sorted(FIGURES))
     p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for sweep-grid figures "
+                   "(0 = all cores; default: serial)")
 
     sub.add_parser("list", help="list algorithms, patterns, figures, scales")
     return parser
@@ -97,20 +106,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_sweep(args) -> str:
     topo = HyperX(tuple(args.widths), args.terminals)
     algo = make_algorithm(args.algorithm, topo)
-    from .traffic import patterns as P
-
-    builders = {
-        "UR": lambda: P.UniformRandom(topo.num_terminals),
-        "BC": lambda: P.BitComplement(topo.num_terminals),
-        "URBx": lambda: P.UniformRandomBisection(topo, 0),
-        "URBy": lambda: P.UniformRandomBisection(topo, 1),
-        "URBz": lambda: P.UniformRandomBisection(topo, 2),
-        "S2": lambda: P.Swap2(topo),
-        "DCR": lambda: P.DimensionComplementReverse(topo),
-    }
-    pattern = builders[args.pattern]()
+    pattern = pattern_by_name(args.pattern, topo)
     sweep = sweep_load(
-        topo, algo, pattern, args.rates, total_cycles=args.cycles, seed=args.seed
+        topo, algo, pattern, args.rates, total_cycles=args.cycles,
+        seed=args.seed, workers=resolve_workers(args.workers),
     )
     rows = [
         [
@@ -158,7 +157,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "stencil":
         print(_cmd_stencil(args))
     elif args.command == "figure":
-        print(FIGURES[args.name](get_scale(args.scale)))
+        print(FIGURES[args.name](get_scale(args.scale),
+                                 resolve_workers(args.workers)))
     elif args.command == "list":
         print(_cmd_list())
     return 0

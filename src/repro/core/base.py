@@ -19,7 +19,7 @@ reduction — exactly the paper's evaluation methodology (footnote 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, Sequence
+from typing import TYPE_CHECKING, Hashable, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.types import Packet
@@ -118,6 +118,17 @@ class RoutingAlgorithm:
 
     def commit(self, ctx: RouteContext, chosen: RouteCandidate) -> None:
         """Called once when the router dispatches the packet on ``chosen``."""
+
+    def cache_key(self, ctx: RouteContext, dest_router: int) -> Hashable | None:
+        """Key under which :meth:`candidates` may be memoised per router.
+
+        A non-None key asserts that the candidate list is a pure function of
+        the key for this router — no per-packet state, no randomness, no
+        congestion reads.  The router then caches the (immutable) candidate
+        list and only re-scores congestion weights while a head packet waits.
+        Stateful algorithms return None (the default) and are never cached.
+        """
+        return None
 
     # ------------------------------------------------------------------
 

@@ -38,6 +38,13 @@ class DimWAR(HyperXRouting):
     deadlock_handling = "restricted routes & resource classes"
     packet_contents = "none"
 
+    def cache_key(self, ctx: RouteContext, dest_router: int):
+        # Besides the destination, candidates depend only on whether the
+        # packet is on the minimal class (deroutes permitted) — all routing
+        # state lives in the VC index.
+        on_min_class = ctx.from_terminal or ctx.input_vc_class == 0
+        return (dest_router, on_min_class)
+
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
         here = self.here(ctx)
         dest = self.dest_coords(ctx.packet)

@@ -24,6 +24,11 @@ class DimensionOrderRouting(HyperXRouting):
     deadlock_handling = "restricted routes"
     packet_contents = "none"
 
+    def cache_key(self, ctx: RouteContext, dest_router: int):
+        # Candidates depend only on the (fixed) current router and the
+        # destination coordinates.
+        return (dest_router,)
+
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
         here = self.here(ctx)
         dest = self.dest_coords(ctx.packet)

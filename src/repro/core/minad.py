@@ -26,6 +26,12 @@ class MinAdaptive(HyperXRouting):
         super().__init__(topology)
         self.num_classes = topology.num_dims
 
+    def cache_key(self, ctx: RouteContext, dest_router: int):
+        # Distance classes: the hop index (VC class) and destination fully
+        # determine the candidate set at a given router.
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        return (dest_router, klass)
+
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
         here = self.here(ctx)
         dest = self.dest_coords(ctx.packet)

@@ -47,6 +47,15 @@ class OmniWAR(HyperXRouting):
         if restrict_back_to_back:
             self.name = "OmniWAR-b2b"
 
+    def cache_key(self, ctx: RouteContext, dest_router: int):
+        # The distance class (hop index) fixes the deroute budget; with the
+        # back-to-back restriction the input port's dimension also matters.
+        klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+        if self.restrict_back_to_back and not ctx.from_terminal:
+            input_dim = self.hx.port_dim(ctx.router.router_id, ctx.input_port)
+            return (dest_router, klass, input_dim)
+        return (dest_router, klass)
+
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
         here = self.here(ctx)
         dest = self.dest_coords(ctx.packet)

@@ -16,6 +16,7 @@ Every experiment driver accepts a ``scale``:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..config import SimConfig, default_config, paper_scale
@@ -70,6 +71,32 @@ SCALES: dict[str, Scale] = {
         stencil_aggregate_flits=3200,  # 100 kB at 32 B/flit
     ),
 }
+
+
+def resolve_workers(workers: int | None = None) -> int | None:
+    """Resolve the sweep worker count for experiment drivers.
+
+    Precedence: an explicit ``workers`` argument wins; otherwise the
+    ``REPRO_WORKERS`` environment variable (so whole figure regenerations
+    can be parallelized without threading a flag through every driver);
+    otherwise None (the serial in-process path).  ``0`` (from either
+    source) means "all cores".
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if not env:
+            return None
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = all cores)")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
 
 
 def get_scale(scale: str | Scale) -> Scale:

@@ -31,7 +31,7 @@ from ..analysis.report import format_table
 from ..analysis.sweep import SweepResult, saturation_throughput, sweep_load
 from ..core.registry import PAPER_ALGORITHMS, make_algorithm
 from ..traffic.patterns import paper_patterns
-from .common import Scale, get_scale
+from .common import Scale, get_scale, resolve_workers
 
 PAPER_PATTERNS = ("UR", "BC", "URBx", "URBy", "S2", "DCR")
 
@@ -51,9 +51,16 @@ def run_pattern(
     scale: str | Scale = "smoke",
     rates: list[float] | None = None,
     seed: int = 1,
+    workers: int | None = None,
 ) -> Fig6Result:
-    """One load-latency sub-figure (6a-6f): sweep every algorithm."""
+    """One load-latency sub-figure (6a-6f): sweep every algorithm.
+
+    ``workers`` (or the ``REPRO_WORKERS`` environment variable) fans the
+    load points of each sweep over processes; see
+    :func:`repro.analysis.sweep.sweep_load`.
+    """
     sc = get_scale(scale)
+    workers = resolve_workers(workers)
     topo = sc.topology()
     patterns = paper_patterns(topo)
     if pattern_name not in patterns:
@@ -65,12 +72,14 @@ def run_pattern(
             sweep = sweep_load(
                 topo, algo, patterns[pattern_name], rates,
                 total_cycles=sc.total_cycles, cfg=sc.sim_config(), seed=seed,
+                workers=workers,
             )
         else:
             sweep = saturation_throughput(
                 topo, algo, patterns[pattern_name],
                 granularity=sc.granularity,
                 total_cycles=sc.total_cycles, cfg=sc.sim_config(), seed=seed,
+                workers=workers,
             )
         result.sweeps[(pattern_name, algo_name)] = sweep
     return result
@@ -81,12 +90,13 @@ def run_throughput_chart(
     patterns: tuple[str, ...] = PAPER_PATTERNS,
     scale: str | Scale = "smoke",
     seed: int = 1,
+    workers: int | None = None,
 ) -> Fig6Result:
     """Figure 6g: achieved throughput for every (pattern, algorithm) pair."""
     sc = get_scale(scale)
     result = Fig6Result(scale=sc.name)
     for pattern_name in patterns:
-        sub = run_pattern(pattern_name, algorithms, sc, seed=seed)
+        sub = run_pattern(pattern_name, algorithms, sc, seed=seed, workers=workers)
         result.sweeps.update(sub.sweeps)
     return result
 

@@ -73,13 +73,19 @@ class InputUnit:
 
 
 class CreditTracker:
-    """Upstream view of free space in a downstream input unit."""
+    """Upstream view of free space in a downstream input unit.
 
-    __slots__ = ("depth", "credits")
+    ``occupied_total`` is maintained incrementally so that the congestion
+    estimators on the routing hot path read total occupancy in O(1) instead
+    of summing the per-VC credit counters every candidate evaluation.
+    """
+
+    __slots__ = ("depth", "credits", "occupied_total")
 
     def __init__(self, num_vcs: int, depth: int):
         self.depth = depth
         self.credits = [depth] * num_vcs
+        self.occupied_total = 0
 
     def available(self, vc: int) -> int:
         return self.credits[vc]
@@ -88,15 +94,17 @@ class CreditTracker:
         if self.credits[vc] <= 0:
             raise RuntimeError(f"credit underflow on VC {vc}")
         self.credits[vc] -= 1
+        self.occupied_total += 1
 
     def restore(self, vc: int) -> None:
         if self.credits[vc] >= self.depth:
             raise RuntimeError(f"credit overflow on VC {vc}")
         self.credits[vc] += 1
+        self.occupied_total -= 1
 
     def occupied(self, vc: int) -> int:
         """Downstream slots believed to be occupied (incl. flits in flight)."""
         return self.depth - self.credits[vc]
 
     def total_occupied(self) -> int:
-        return sum(self.depth - c for c in self.credits)
+        return self.occupied_total

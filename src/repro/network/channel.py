@@ -6,9 +6,15 @@ downstream input.  Credits travel on an identical channel in the opposite
 direction.  Items pushed at cycle ``t`` become deliverable at ``t + latency``.
 
 Delivery is two-phase: the simulator first calls :meth:`Channel.deliver` on
-every channel (moving arrived items into the downstream component), then lets
-every component compute and push new items.  This guarantees that an item can
-never traverse two channels in the same cycle.
+every *busy* channel (moving arrived items into the downstream component),
+then lets every component compute and push new items.  This guarantees that an
+item can never traverse two channels in the same cycle.
+
+Busy tracking: a channel wired into a :class:`~repro.network.network.Network`
+registers itself in the network's active-channel set on the empty->busy
+transition of :meth:`push`; the simulator only visits registered channels and
+unregisters them once their pipeline drains.  Idle channels therefore cost
+nothing per cycle (see DESIGN.md, performance notes).
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ class Channel:
     per cycle (``limit_rate=False``).
     """
 
-    __slots__ = ("latency", "name", "limit_rate", "_pipe", "_sink", "_last_push_cycle", "utilization_count")
+    __slots__ = ("latency", "name", "limit_rate", "_pipe", "_sink", "_last_push_cycle", "utilization_count", "_active_set")
 
     def __init__(
         self,
@@ -43,6 +49,9 @@ class Channel:
         self._pipe: deque[tuple[int, Any]] = deque()
         self._last_push_cycle = -1
         self.utilization_count = 0  # items ever pushed (for link-utilization stats)
+        #: activity registry (dict used as an ordered set) shared with the
+        #: owning network; None for standalone channels driven directly.
+        self._active_set: dict["Channel", None] | None = None
 
     def push(self, cycle: int, item: Any) -> None:
         """Send ``item`` down the channel at ``cycle``."""
@@ -53,6 +62,8 @@ class Channel:
                 )
             self._last_push_cycle = cycle
         self.utilization_count += 1
+        if not self._pipe and self._active_set is not None:
+            self._active_set[self] = None
         self._pipe.append((cycle + self.latency, item))
 
     def deliver(self, cycle: int) -> None:

@@ -45,6 +45,15 @@ class Network:
         self.cfg = cfg
         self.vc_map = VcMap(algorithm.num_classes, cfg.router.num_vcs)
 
+        # Shared activity registries (insertion-ordered dicts used as sets).
+        # Channels register on the empty->busy push transition; routers and
+        # terminals are woken by flit delivery / packet offers.  The
+        # simulator visits only registered entries, so idle components cost
+        # nothing per cycle (see DESIGN.md, performance notes).
+        self._active_channels: dict[Channel, None] = {}
+        self._active_routers: dict[Router, None] = {}
+        self._active_terminals: dict[Terminal, None] = {}
+
         seeds = np.random.SeedSequence(cfg.seed).spawn(topology.num_routers)
         self.routers = [
             Router(r, topology, algorithm, self.vc_map, cfg,
@@ -55,6 +64,12 @@ class Network:
             Terminal(t, algorithm, self.vc_map, cfg)
             for t in range(topology.num_terminals)
         ]
+        # Replace the components' private registries with the shared ones
+        # BEFORE wiring: the flit sinks capture the registry at creation.
+        for router in self.routers:
+            router._wake_registry = self._active_routers
+        for terminal in self.terminals:
+            terminal._wake_registry = self._active_terminals
         self.channels: list[Channel] = []
         self._wire()
 
@@ -62,6 +77,7 @@ class Network:
 
     def _channel(self, latency: int, sink, name: str, limit_rate: bool = True) -> Channel:
         ch = Channel(latency, sink, name=name, limit_rate=limit_rate)
+        ch._active_set = self._active_channels
         self.channels.append(ch)
         return ch
 

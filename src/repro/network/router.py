@@ -32,7 +32,7 @@ from ..core.base import RouteCandidate, RouteContext
 from ..core.weights import get_estimator, route_weight
 from .buffers import CreditTracker, InputUnit, VcRoute
 from .channel import Channel
-from .types import Credit, Flit
+from .types import Flit
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..config import SimConfig
@@ -109,6 +109,41 @@ class Router:
         self.routes_computed = 0
         self.route_stalls = 0  # cycles a head packet had no feasible candidate
 
+        # Hot-path hoists: resolve config/attribute chains once instead of on
+        # every cycle (profiled; the lookups dominate loaded-cycle cost).
+        self._speedup = rc.input_speedup
+        self._xbar_lat = rc.xbar_latency
+        self._stage_cap = rc.output_queue_depth * self.num_vcs
+        self._port_scope = rc.congestion_scope == "port"
+        self._track_vc_trace = cfg.network.track_vc_trace
+        self._vcs_of = [vc_map.vcs_of(k) for k in range(vc_map.num_classes)]
+        self._class_of = [vc_map.class_of(v) for v in range(self.num_vcs)]
+        self._is_term_port = [p in self.terminal_ports for p in range(self.radix)]
+        self._router_of_term = topology.router_of_terminal
+
+        # Per-cycle scratch, allocated once and reset sparsely via the
+        # touched lists (see _step_inputs).
+        self._port_budget = [0] * self.radix
+        self._budget_touched: list[int] = []
+        self._commit_touched: list[int] = []
+
+        # Pre-drawn tie-break jitter: one generator call per 4096 draws
+        # instead of one rng.random() per candidate scored.
+        self._jitter: list[float] = rng.random(4096).tolist()
+        self._jitter_idx = 0
+
+        # Memoised candidate lists for stateless algorithms (see
+        # RoutingAlgorithm.cache_key).  Bounded so long paper-scale runs
+        # cannot grow it without limit; on overflow new keys are simply not
+        # inserted (hits keep being served).
+        self._route_cache: dict = {}
+        self._route_cache_cap = 8192
+
+        # Simulator activity registry.  The owning Network replaces this with
+        # its shared registry before wiring; standalone routers (unit tests)
+        # keep the private throwaway dict.
+        self._wake_registry: dict["Router", None] = {}
+
     # ------------------------------------------------------------------
     # Wiring (called by the network builder)
     # ------------------------------------------------------------------
@@ -127,20 +162,22 @@ class Router:
     def make_flit_sink(self, port: int):
         inputs = self.inputs[port]
         active = self._active_in
+        wake = self._wake_registry
 
         def sink(item: tuple[int, Flit]) -> None:
             vc, flit = item
             inputs.receive(vc, flit)
             active[(port, vc)] = True
+            wake[self] = None
 
         return sink
 
     def make_credit_sink(self, port: int):
-        """Sink for credits returned by the downstream node of ``port``."""
+        """Sink for credits (bare VC ids) returned downstream of ``port``."""
         tracker_ref = self.credit_trackers
 
-        def sink(credit: Credit) -> None:
-            tracker_ref[port].restore(credit.vc)
+        def sink(vc: int) -> None:
+            tracker_ref[port].restore(vc)
 
         return sink
 
@@ -149,13 +186,15 @@ class Router:
     # ------------------------------------------------------------------
 
     def class_congestion(self, out_port: int, vc_class: int) -> float:
-        vcs = self.vc_map.vcs_of(vc_class)
+        vcs = self._vcs_of[vc_class]
         tracker = self.credit_trackers[out_port]
         staged = self.staged[out_port]
+        credits = tracker.credits
+        depth = tracker.depth
         occ = 0
         stg = 0
         for v in vcs:
-            occ += tracker.occupied(v)
+            occ += depth - credits[v]
             stg += len(staged[v])
         if self._sequential:
             stg += self._pending_commit[out_port]
@@ -163,7 +202,7 @@ class Router:
 
     def port_congestion(self, out_port: int) -> float:
         tracker = self.credit_trackers[out_port]
-        occ = tracker.total_occupied()
+        occ = tracker.occupied_total
         stg = self._staged_count[out_port]
         if self._sequential:
             stg += self._pending_commit[out_port]
@@ -184,17 +223,29 @@ class Router:
         return not self._active_in and not self._active_out
 
     def _step_inputs(self, cycle: int) -> None:
-        speedup = self.cfg.router.input_speedup
+        speedup = self._speedup
+        budget = self._port_budget
+        touched = self._budget_touched
+        if touched:  # zero only the entries the previous cycle dirtied
+            for p in touched:
+                budget[p] = 0
+            touched.clear()
         if self._sequential:
-            self._pending_commit = [0] * self.radix
-        port_budget: dict[int, int] = {}
-        for key in list(self._active_in.keys()):
+            ct = self._commit_touched
+            if ct:
+                pc = self._pending_commit
+                for p in ct:
+                    pc[p] = 0
+                ct.clear()
+        inputs = self.inputs
+        active = self._active_in
+        for key in list(active):
             port, vc = key
-            state = self.inputs[port].vcs[vc]
+            state = inputs[port].vcs[vc]
             if not state.fifo:
-                del self._active_in[key]
+                del active[key]
                 continue
-            if port_budget.get(port, 0) >= speedup:
+            if budget[port] >= speedup:
                 continue
             head = state.fifo[0]
             if state.route is None:
@@ -205,50 +256,55 @@ class Router:
                     self.route_stalls += 1
                     continue
                 state.route = route
-            self._try_forward(cycle, port, vc, state, port_budget)
+            self._try_forward(cycle, port, vc, state)
 
-    def _try_forward(self, cycle, port, vc, state, port_budget) -> None:
+    def _try_forward(self, cycle, port, vc, state) -> None:
         route = state.route
         out_port, out_vc = route.out_port, route.out_vc
         tracker = self.credit_trackers[out_port]
-        if tracker.available(out_vc) <= 0:
+        if tracker.credits[out_vc] <= 0:
             return
-        if self._staged_count[out_port] >= self.cfg.router.output_queue_depth * self.num_vcs:
+        if self._staged_count[out_port] >= self._stage_cap:
             return
         flit = state.fifo.popleft()
         tracker.consume(out_vc)
-        self.staged[out_port][out_vc].append((cycle + self.cfg.router.xbar_latency, flit))
+        self.staged[out_port][out_vc].append((cycle + self._xbar_lat, flit))
         self._staged_count[out_port] += 1
         self._active_out[out_port] = True
         self.flits_forwarded += 1
-        port_budget[port] = port_budget.get(port, 0) + 1
-        # Return a credit upstream for the freed input slot.
+        budget = self._port_budget
+        if budget[port] == 0:
+            self._budget_touched.append(port)
+        budget[port] += 1
+        # Return a credit (bare VC id) upstream for the freed input slot.
         cr = self._credit_return[port]
         if cr is not None:
-            cr.push(cycle, Credit(vc))
-        if flit.is_tail:
+            cr.push(cycle, vc)
+        if flit.index == flit.packet.size - 1:  # tail flit
             self.out_vc_owner[out_port][out_vc] = None
             state.route = None
         if not state.fifo:
             self._active_in.pop((port, vc), None)
 
     def _step_outputs(self, cycle: int) -> None:
-        for port in list(self._active_out.keys()):
-            if self._staged_count[port] == 0:
-                del self._active_out[port]
+        staged_count = self._staged_count
+        active = self._active_out
+        for port in list(active):
+            if staged_count[port] == 0:
+                del active[port]
                 continue
-            chan = self.out_channels[port]
             staged = self.staged[port]
             best_vc = -1
             if self._age_arbitration:
                 best_key = None
-                for v in range(self.num_vcs):
-                    q = staged[v]
-                    if q and q[0][0] <= cycle:
-                        k = q[0][1].packet.age_key
-                        if best_key is None or k < best_key:
-                            best_key = k
-                            best_vc = v
+                for v, q in enumerate(staged):
+                    if q:
+                        ready, flit = q[0]
+                        if ready <= cycle:
+                            k = flit.packet.age_key
+                            if best_key is None or k < best_key:
+                                best_key = k
+                                best_vc = v
             else:  # round-robin over VCs with a ready head flit
                 base = self._rr_next[port]
                 for off in range(self.num_vcs):
@@ -261,10 +317,10 @@ class Router:
             if best_vc < 0:
                 continue  # nothing past the crossbar yet this cycle
             _, flit = staged[best_vc].popleft()
-            self._staged_count[port] -= 1
-            chan.push(cycle, (best_vc, flit))
-            if self._staged_count[port] == 0:
-                del self._active_out[port]
+            staged_count[port] -= 1
+            self.out_channels[port].push(cycle, (best_vc, flit))
+            if staged_count[port] == 0:
+                del active[port]
 
     # ------------------------------------------------------------------
     # Route computation
@@ -273,26 +329,39 @@ class Router:
     def _compute_route(self, cycle: int, port: int, vc: int, head: Flit) -> VcRoute | None:
         packet = head.packet
         self.routes_computed += 1
-        dest_router = self.topology.router_of_terminal(packet.dst_terminal)
+        dest_router = self._router_of_term(packet.dst_terminal)
         if dest_router == self.router_id:
             return self._route_ejection(port, vc, packet)
 
-        from_terminal = port in self.terminal_ports
+        from_terminal = self._is_term_port[port]
         ctx = RouteContext(
             router=self,
             packet=packet,
             input_port=port,
-            input_vc_class=0 if from_terminal else self.vc_map.class_of(vc),
+            input_vc_class=0 if from_terminal else self._class_of[vc],
             from_terminal=from_terminal,
         )
-        cands = self.algorithm.candidates(ctx)
+        algorithm = self.algorithm
+        ck = algorithm.cache_key(ctx, dest_router)
+        if ck is None:
+            cands = algorithm.candidates(ctx)
+        else:
+            cands = self._route_cache.get(ck)
+            if cands is None:
+                cands = algorithm.candidates(ctx)
+                if len(self._route_cache) < self._route_cache_cap:
+                    self._route_cache[ck] = cands
         if not cands:
             raise RuntimeError(
-                f"{self.algorithm.name} returned no candidates at router "
+                f"{algorithm.name} returned no candidates at router "
                 f"{self.router_id} for packet {packet.pid}"
             )
-        port_scope = self.cfg.router.congestion_scope == "port"
-        best: tuple[float, float, RouteCandidate, int] | None = None
+        port_scope = self._port_scope
+        jitter = self._jitter
+        jidx = self._jitter_idx
+        best_cand: RouteCandidate | None = None
+        best_out_vc = -1
+        best_w = best_j = 0.0
         for cand in cands:
             out_vc = self._allocate_vc(cand.out_port, cand.vc_class, packet.pid)
             if out_vc is None:
@@ -302,20 +371,27 @@ class Router:
             else:
                 congestion = self.class_congestion(cand.out_port, cand.vc_class)
             w = route_weight(congestion, cand.hops)
-            key = (w, self.rng.random())
-            if best is None or key < (best[0], best[1]):
-                best = (key[0], key[1], cand, out_vc)
-        if best is None:
+            j = jitter[jidx]
+            jidx = (jidx + 1) & 4095
+            if best_cand is None or w < best_w or (w == best_w and j < best_j):
+                best_cand = cand
+                best_out_vc = out_vc
+                best_w = w
+                best_j = j
+        self._jitter_idx = jidx
+        if best_cand is None:
             return None
-        _, _, cand, out_vc = best
-        self.algorithm.commit(ctx, cand)
+        cand, out_vc = best_cand, best_out_vc
+        algorithm.commit(ctx, cand)
         self.out_vc_owner[cand.out_port][out_vc] = packet.pid
         if self._sequential:
+            if self._pending_commit[cand.out_port] == 0:
+                self._commit_touched.append(cand.out_port)
             self._pending_commit[cand.out_port] += packet.size
         packet.hops += 1
         if cand.deroute:
             packet.deroutes += 1
-        if self.cfg.network.track_vc_trace:
+        if self._track_vc_trace:
             if packet.vc_trace is None:
                 packet.vc_trace = []
                 packet.port_trace = []
@@ -325,13 +401,13 @@ class Router:
 
     def _allocate_vc(self, out_port: int, vc_class: int, pid: int) -> int | None:
         """Pick a free, credited VC in the class group; None when infeasible."""
-        tracker = self.credit_trackers[out_port]
+        credits = self.credit_trackers[out_port].credits
         owner = self.out_vc_owner[out_port]
         best_vc = None
         best_credits = 0
-        for v in self.vc_map.vcs_of(vc_class):
+        for v in self._vcs_of[vc_class]:
             if owner[v] is None:
-                c = tracker.available(v)
+                c = credits[v]
                 if c > best_credits:
                     best_credits = c
                     best_vc = v

@@ -11,9 +11,18 @@ The two-phase structure makes the simulation independent of component
 iteration order for correctness (order only affects tie-breaking) and
 guarantees nothing traverses two channels in one cycle.
 
-Only *busy* channels are visited each cycle; idle routers/terminals return
-immediately — the standard activity-tracking trick that keeps a pure-Python
-cycle simulator usable (see DESIGN.md, performance notes).
+Only *active* components are visited each cycle: channels register
+themselves in the network's activity set on the empty->busy push transition,
+and routers/terminals are woken by flit delivery or packet offers.  Drained
+channels and components that step to idle are dropped from the sets, so a
+quiet network costs almost nothing per cycle — the activity-tracking trick
+that keeps a pure-Python cycle simulator usable (see DESIGN.md, performance
+notes).
+
+:meth:`Simulator.run` is the chunked fast path: the per-cycle loop lives in
+one frame with the activity sets bound to locals, instead of paying a method
+call and attribute re-resolution per cycle.  :meth:`Simulator.step` is just
+``run(1)``.
 """
 
 from __future__ import annotations
@@ -37,26 +46,46 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        cycle = self.cycle
-        # Phase 1: deliveries.  Direct _pipe access (instead of the .busy
-        # property) because this loop dominates idle-cycle cost (profiled).
-        for ch in self.network.channels:
-            if ch._pipe:
-                ch.deliver(cycle)
-        # Phase 2: compute.
-        for proc in self.processes:
-            proc(cycle)
-        for t in self.network.terminals:
-            if not t.idle:
-                t.step(cycle)
-        for r in self.network.routers:
-            if not r.idle:
-                r.step(cycle)
-        self.cycle += 1
+        self.run(1)
 
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
-            self.step()
+        """Advance the simulation by ``cycles`` cycles (chunked fast path)."""
+        network = self.network
+        active_channels = network._active_channels
+        active_terminals = network._active_terminals
+        active_routers = network._active_routers
+        processes = self.processes
+        cycle = self.cycle
+        end = cycle + cycles
+        while cycle < end:
+            # Phase 1: deliveries.  Snapshot the set: channels pushed during
+            # this cycle register for *later* cycles (latency >= 1).  The
+            # delivery loop is inlined (rather than calling Channel.deliver)
+            # because the per-channel call overhead dominates at load.
+            if active_channels:
+                for ch in list(active_channels):
+                    pipe = ch._pipe
+                    while pipe and pipe[0][0] <= cycle:
+                        ch._sink(pipe.popleft()[1])
+                    if not pipe:
+                        del active_channels[ch]
+            # Phase 2: compute.
+            for proc in processes:
+                proc(cycle)
+            if active_terminals:
+                # Snapshot: a delivery listener may wake another terminal
+                # mid-iteration (it then runs from the next cycle on).
+                for t in list(active_terminals):
+                    t.step(cycle)
+                    if t.idle:
+                        active_terminals.pop(t, None)
+            if active_routers:
+                for r in list(active_routers):
+                    r.step(cycle)
+                    if r.idle:
+                        active_routers.pop(r, None)
+            cycle += 1
+            self.cycle = cycle
 
     def run_until(
         self,
@@ -64,14 +93,17 @@ class Simulator:
         max_cycles: int,
         check_every: int = 64,
     ) -> bool:
-        """Run until ``predicate()`` is true; returns False on timeout."""
+        """Run until ``predicate()`` is true, checking every ``check_every``
+        cycles; returns False on timeout without re-evaluating the predicate.
+        """
         deadline = self.cycle + max_cycles
+        if max_cycles <= 0:
+            return predicate()
         while self.cycle < deadline:
-            for _ in range(min(check_every, deadline - self.cycle)):
-                self.step()
+            self.run(min(check_every, deadline - self.cycle))
             if predicate():
                 return True
-        return predicate()
+        return False
 
     def drain(self, max_cycles: int = 1_000_000) -> bool:
         """Run until the network is empty of traffic (no new injections)."""

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable
 from .arbiter import make_arbiter
 from .buffers import CreditTracker, InputUnit
 from .channel import Channel
-from .types import Credit, Flit, Packet
+from .types import Flit, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..config import SimConfig
@@ -56,6 +56,7 @@ class Terminal:
         self.eject_credit_channel: Channel | None = None
         self._eject_arbiter = make_arbiter(cfg.router.arbiter, self.num_vcs)
         self._age = cfg.router.arbiter == "age"
+        self._eject_rate = cfg.network.ejection_rate
 
         # Telemetry / hooks.
         self.flits_injected = 0
@@ -69,6 +70,10 @@ class Terminal:
         # Buffered receive-flit count: makes the hot idle check O(1) instead
         # of scanning every VC FIFO (profiled; see guide_00's measure-first).
         self._rx_count = 0
+        # Simulator activity registry.  The owning Network replaces this with
+        # its shared registry before wiring; standalone terminals (unit
+        # tests) keep the private throwaway dict.
+        self._wake_registry: dict["Terminal", None] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -82,16 +87,19 @@ class Terminal:
         self.eject_credit_channel = channel
 
     def make_flit_sink(self):
+        wake = self._wake_registry
+
         def sink(item: tuple[int, Flit]) -> None:
             vc, flit = item
             self.receive.receive(vc, flit)
             self._rx_count += 1
+            wake[self] = None
 
         return sink
 
     def make_credit_sink(self):
-        def sink(credit: Credit) -> None:
-            self.inject_credits.restore(credit.vc)
+        def sink(vc: int) -> None:
+            self.inject_credits.restore(vc)
 
         return sink
 
@@ -104,6 +112,7 @@ class Terminal:
         if packet.src_terminal != self.terminal_id:
             raise ValueError("packet offered to the wrong terminal")
         self.source_queue.append(packet)
+        self._wake_registry[self] = None
 
     @property
     def backlog_flits(self) -> int:
@@ -126,13 +135,13 @@ class Terminal:
     # ------------------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        self._step_injection(cycle)
-        self._step_ejection(cycle)
+        if self._active_packet is not None or self.source_queue:
+            self._step_injection(cycle)
+        if self._rx_count:
+            self._step_ejection(cycle)
 
     def _step_injection(self, cycle: int) -> None:
         if self._active_packet is None:
-            if not self.source_queue:
-                return
             packet = self.source_queue[0]
             vc = self._pick_injection_vc(packet)
             if vc is None:
@@ -164,23 +173,34 @@ class Terminal:
         return best_vc
 
     def _step_ejection(self, cycle: int) -> None:
-        budget = self.cfg.network.ejection_rate
+        budget = self._eject_rate
+        vcs = self.receive.vcs
         while budget > 0 and self._rx_count > 0:
-            requests = [
-                (v, self.receive.vcs[v].head)
-                for v in range(self.num_vcs)
-                if self.receive.vcs[v].head is not None
-            ]
-            key = (
-                (lambda r: r[1].packet.age_key)
-                if self._age
-                else (lambda r: (r[0],))
-            )
-            pick = self._eject_arbiter.pick(requests, key=key)
-            if pick is None:
+            if self._age:
+                # Inlined age-based pick (the generic arbiter's request-list
+                # build dominated ejection cost under load).
+                best_vc = -1
+                best_key = None
+                for v, state in enumerate(vcs):
+                    fifo = state.fifo
+                    if fifo:
+                        k = fifo[0].packet.age_key
+                        if best_key is None or k < best_key:
+                            best_key = k
+                            best_vc = v
+            else:
+                requests = [
+                    (v, vcs[v].head)
+                    for v in range(self.num_vcs)
+                    if vcs[v].head is not None
+                ]
+                pick = self._eject_arbiter.pick(requests, key=lambda r: (r[0],))
+                if pick is None:
+                    return
+                best_vc = pick[0]
+            if best_vc < 0:
                 return
-            best_vc = pick[0]
-            flit = self.receive.vcs[best_vc].fifo.popleft()
+            flit = vcs[best_vc].fifo.popleft()
             self._rx_count -= 1
             pid = flit.packet.pid
             expected = self._expected_index.get(pid, 0)
@@ -196,7 +216,9 @@ class Terminal:
             self.flits_ejected += 1
             budget -= 1
             if self.eject_credit_channel is not None:
-                self.eject_credit_channel.push(cycle, Credit(best_vc))
+                # Credit channels carry the bare VC id (cheaper than a
+                # Credit object on the per-flit path).
+                self.eject_credit_channel.push(cycle, best_vc)
             if flit.is_tail:
                 self._complete_packet(flit.packet, cycle)
 

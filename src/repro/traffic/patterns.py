@@ -220,6 +220,36 @@ class Hotspot(TrafficPattern):
         return self._uniform.dest(src, rng)
 
 
+def pattern_by_name(name: str, topology: HyperX) -> TrafficPattern:
+    """Build a traffic pattern from its canonical name.
+
+    This is the shared reconstruction path used by the CLI and by the
+    parallel sweep workers (which receive pattern *names* in their picklable
+    point specs and rebuild the pattern in the worker process).  Raises
+    ``ValueError`` for unknown names or patterns invalid on ``topology``
+    (e.g. DCR on a 2-D network).
+    """
+    if name == "UR":
+        return UniformRandom(topology.num_terminals)
+    if name == "BC":
+        return BitComplement(topology.num_terminals)
+    if name == "S2":
+        return Swap2(topology)
+    if name == "DCR":
+        return DimensionComplementReverse(topology)
+    if name == "TP":
+        return Transpose(topology.num_terminals)
+    if name == "PERM":
+        return RandomPermutation(topology.num_terminals)
+    axes = "xyzw"
+    if len(name) == 4 and name[3] in axes:
+        if name.startswith("URB"):
+            return UniformRandomBisection(topology, axes.index(name[3]))
+        if name.startswith("TOR"):
+            return Tornado(topology, axes.index(name[3]))
+    raise ValueError(f"unknown traffic pattern {name!r}")
+
+
 def paper_patterns(topology: HyperX) -> dict[str, TrafficPattern]:
     """The six patterns of the paper's Figure 6 for a 3-D HyperX."""
     return {

@@ -10,6 +10,7 @@ from repro.analysis.sweep import (
     PointResult,
     SweepResult,
     measure_point,
+    nearest_rank_p99,
     saturation_throughput,
     sweep_load,
 )
@@ -91,6 +92,29 @@ def test_monitor_insufficient_samples():
 
 def test_accepted_rate_helper():
     assert accepted_rate(800, 400, 4) == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# nearest-rank p99
+# ---------------------------------------------------------------------------
+
+
+def test_p99_nearest_rank_known_distributions():
+    # n=100 of 1..100: rank ceil(99) = 99 -> index 98 -> value 99.  (The old
+    # truncating formula picked the p98 sample here.)
+    assert nearest_rank_p99(list(range(1, 101))) == 99.0
+    # n=200 of 1..200: rank ceil(198) = 198 -> index 197 -> value 198.
+    assert nearest_rank_p99(list(range(1, 201))) == 198.0
+    # Small windows clamp to the max sample.
+    assert nearest_rank_p99(list(range(1, 51))) == 50.0
+    assert nearest_rank_p99([5.0, 1.0, 3.0]) == 5.0
+    assert nearest_rank_p99([7.0]) == 7.0
+
+
+def test_p99_order_independent_and_empty():
+    shuffled = [3.0, 1.0, 2.0] * 40  # n=120 -> index ceil(118.8)-1 = 118
+    assert nearest_rank_p99(shuffled) == 3.0
+    assert math.isnan(nearest_rank_p99([]))
 
 
 # ---------------------------------------------------------------------------

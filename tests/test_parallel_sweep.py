@@ -1,0 +1,145 @@
+"""Tests for the parallel sweep engine: spec round-tripping, determinism
+across worker counts, early-stop truncation, and telemetry plumbing."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.analysis.parallel import (
+    PointSpec,
+    SweepProgress,
+    point_specs,
+    run_point,
+    run_points,
+)
+from repro.analysis.sweep import measure_point, sweep_load
+from repro.core.registry import make_algorithm
+from repro.topology.hyperx import HyperX
+from repro.topology.torus import Torus
+from repro.traffic.patterns import BitComplement, UniformRandom
+
+
+def _setup():
+    topo = HyperX((3, 3), 2)
+    return topo, UniformRandom(topo.num_terminals)
+
+
+# ---------------------------------------------------------------------------
+# Spec construction and validation
+# ---------------------------------------------------------------------------
+
+
+def test_point_specs_round_trip_fields():
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    specs = point_specs(topo, algo, pat, [0.1, 0.3], total_cycles=1200, seed=7)
+    assert [s.rate for s in specs] == [0.1, 0.3]
+    assert all(s.widths == (3, 3) and s.terminals_per_router == 2 for s in specs)
+    assert all(s.algorithm == "DimWAR" and s.pattern == "UR" for s in specs)
+    assert all(s.seed == 7 and s.total_cycles == 1200 for s in specs)
+
+
+def test_point_specs_are_picklable():
+    topo, pat = _setup()
+    algo = make_algorithm("OmniWAR", topo, deroutes=1)
+    (spec,) = point_specs(topo, algo, pat, [0.2])
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert dict(clone.algorithm_kwargs) == {"deroutes": 1}
+
+
+def test_point_specs_rejects_non_hyperx():
+    topo = Torus((3, 3), 2)
+    from repro.core.torus_routing import TorusDOR
+
+    with pytest.raises(ValueError, match="HyperX"):
+        point_specs(topo, TorusDOR(topo), UniformRandom(topo.num_terminals), [0.2])
+
+
+def test_run_points_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        run_points([], workers=0)
+    assert run_points([], workers=1) == []
+
+
+def test_run_point_matches_measure_point():
+    """A spec reconstructed in-process reproduces the live-object result."""
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    direct = measure_point(topo, algo, pat, 0.2, total_cycles=1200, seed=3)
+    (spec,) = point_specs(topo, algo, pat, [0.2], total_cycles=1200, seed=3)
+    via_spec = run_point(spec)
+    assert via_spec.mean_latency == direct.mean_latency
+    assert via_spec.packets_delivered == direct.packets_delivered
+    assert via_spec.accepted_rate == direct.accepted_rate
+    assert via_spec.routes_computed == direct.routes_computed
+
+
+# ---------------------------------------------------------------------------
+# Serial-vs-parallel determinism (the tentpole guarantee)
+# ---------------------------------------------------------------------------
+
+
+def _sweep(workers):
+    topo = HyperX((3, 3), 2)
+    algo = make_algorithm("DOR", topo)
+    pattern = BitComplement(topo.num_terminals)
+    return sweep_load(
+        topo, algo, pattern, rates=[0.2, 0.4, 0.6, 0.8, 1.0],
+        total_cycles=2000, seed=3, workers=workers,
+    )
+
+
+def test_workers_1_and_4_byte_identical_json():
+    serial = _sweep(workers=1)
+    parallel = _sweep(workers=4)
+    assert serial.to_json() == parallel.to_json()
+    # The sweep saturates mid-list, so this also exercises the early-stop
+    # path: speculatively dispatched rates past saturation are discarded.
+    assert len(serial.points) < 5
+    assert not serial.points[-1].stable
+    assert all(p.stable for p in serial.points[:-1])
+
+
+def test_wall_clock_excluded_from_json():
+    sweep = _sweep(workers=1)
+    assert all(p.wall_clock_s > 0 for p in sweep.points)
+    data = json.loads(sweep.to_json())
+    assert all("wall_clock_s" not in p for p in data["points"])
+    # Telemetry counters, by contrast, are deterministic and serialized.
+    assert all(p["routes_computed"] > 0 for p in data["points"])
+
+
+def test_progress_callback_ordered():
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    seen = []
+    sweep_load(
+        topo, algo, pat, rates=[0.3, 0.1, 0.2], total_cycles=1200, seed=3,
+        workers=1, progress=lambda i, n, p: seen.append((i, n, p.offered_rate)),
+    )
+    assert seen == [(0, 3, 0.1), (1, 3, 0.2), (2, 3, 0.3)]
+
+
+def test_sweep_progress_reporter_lines():
+    lines = []
+    reporter = SweepProgress(label="t", write=lines.append)
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    specs = point_specs(topo, algo, pat, [0.2], total_cycles=1200, seed=3)
+    run_points(specs, workers=1, progress=reporter)
+    assert len(lines) == 1
+    assert "point 1/1" in lines[0] and "rate=0.200" in lines[0]
+
+
+def test_sweep_rejects_custom_monitor_with_workers():
+    from repro.network.stats import LatencyMonitor
+
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    with pytest.raises(ValueError, match="monitor"):
+        sweep_load(
+            topo, algo, pat, rates=[0.2], workers=2,
+            monitor=LatencyMonitor(),
+        )

@@ -179,6 +179,62 @@ def test_simulator_run_until():
     assert hit and 100 <= sim.cycle <= 107
 
 
+def test_run_until_stops_at_exact_first_check_boundary():
+    """The predicate is checked every ``check_every`` cycles; the run must
+    return at the first boundary where it holds, not overshoot to the next."""
+    topo, net = _net()
+    sim = Simulator(net)
+    hit = sim.run_until(lambda: sim.cycle >= 100, max_cycles=500, check_every=7)
+    assert hit and sim.cycle == 105  # first multiple of 7 past 100
+    # An immediately true predicate returns after one chunk, not zero.
+    sim2 = Simulator(_net()[1])
+    assert sim2.run_until(lambda: True, max_cycles=500, check_every=64)
+    assert sim2.cycle == 64
+
+
+def test_run_until_timeout_predicate_call_count():
+    """On timeout the predicate runs once per check boundary — no redundant
+    final re-evaluation — and the simulator lands exactly on the deadline."""
+    topo, net = _net()
+    sim = Simulator(net)
+    calls = []
+
+    def never():
+        calls.append(sim.cycle)
+        return False
+
+    assert not sim.run_until(never, max_cycles=100, check_every=7)
+    assert sim.cycle == 100  # the last chunk is clipped to the deadline
+    # Boundaries: 7, 14, ..., 98, then the clipped chunk ending at 100.
+    assert calls == [*range(7, 99, 7), 100]
+
+
+def test_run_until_zero_budget_checks_once():
+    topo, net = _net()
+    sim = Simulator(net)
+    calls = []
+    assert not sim.run_until(lambda: calls.append(1) is not None and False,
+                             max_cycles=0)
+    assert sim.cycle == 0 and len(calls) == 1
+
+
+def test_idle_network_wakes_for_late_offer():
+    """Activity tracking must not lose wake-ups: after the network drains and
+    idles for a long stretch, a newly offered packet still gets delivered."""
+    topo, net = _net(widths=(3, 3), tpr=2, algo="DimWAR")
+    sim = Simulator(net)
+    first = Packet(0, topo.num_terminals - 1, size=4, create_cycle=0)
+    net.terminals[0].offer(first)
+    assert sim.drain(max_cycles=5000)
+    sim.run(1000)  # a long fully idle stretch (active sets are empty)
+    late = Packet(3, topo.num_terminals - 2, size=4,
+                  create_cycle=sim.cycle)
+    net.terminals[3].offer(late)
+    assert sim.drain(max_cycles=5000)
+    assert late.eject_cycle is not None
+    assert net.total_injected_flits() == net.total_ejected_flits() == 8
+
+
 def test_packet_size_mix_delivered():
     topo, net = _net(widths=(3, 3), tpr=2, algo="OmniWAR")
     sim = Simulator(net)
