@@ -13,6 +13,8 @@ The package provides:
 * :mod:`repro.application` — the 27-point stencil application model;
 * :mod:`repro.analysis` — load-latency sweeps and throughput measurement;
 * :mod:`repro.cost` — the cabling-cost model of Figure 3;
+* :mod:`repro.faults` — link/router fault injection and degraded-topology
+  adaptive routing (see ``docs/FAULTS.md``);
 * :mod:`repro.experiments` — one driver per paper figure/table.
 
 Quickstart::
@@ -24,6 +26,7 @@ Quickstart::
 
 from .config import SimConfig, default_config, paper_scale
 from .core.registry import PAPER_ALGORITHMS, algorithm_names, make_algorithm
+from .faults import DegradedTopology, FaultSet, random_link_faults
 from .topology.hyperx import HyperX, paper_hyperx, regular_hyperx
 
 __version__ = "1.0.0"
@@ -38,6 +41,9 @@ __all__ = [
     "make_algorithm",
     "algorithm_names",
     "PAPER_ALGORITHMS",
+    "FaultSet",
+    "DegradedTopology",
+    "random_link_faults",
     "quick_simulation",
 ]
 

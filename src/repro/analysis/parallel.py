@@ -19,6 +19,18 @@ runs such grids on a :class:`~concurrent.futures.ProcessPoolExecutor`:
 
 Worker processes import this module, so :func:`run_point` must stay a
 module-level function (bound methods and closures do not pickle).
+
+Example (the exact code path a worker executes, run serially)::
+
+    >>> from repro.analysis.parallel import PointSpec, run_point
+    >>> spec = PointSpec(widths=(2, 2), terminals_per_router=1,
+    ...                  algorithm="DOR", pattern="UR", rate=0.1,
+    ...                  total_cycles=400, seed=1)
+    >>> result = run_point(spec)
+    >>> result.offered_rate
+    0.1
+    >>> result.packets_delivered > 0
+    True
 """
 
 from __future__ import annotations

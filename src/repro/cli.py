@@ -5,6 +5,7 @@ Commands
 ``sweep``     load-latency sweep of one algorithm/pattern (Figure 6 style)
 ``stencil``   27-point stencil run per algorithm (Figure 8 style)
 ``figure``    regenerate a paper figure/table by name
+``faults``    mid-run fault-injection transient (see docs/FAULTS.md)
 ``list``      available algorithms, patterns, figures, and scales
 
 Examples::
@@ -13,6 +14,8 @@ Examples::
     python -m repro stencil --algorithms DOR OmniWAR --mode halo
     python -m repro figure fig6g --scale smoke
     python -m repro figure table1
+    python -m repro faults --fail-links 3 --algorithms DimWAR OmniWAR
+    python -m repro faults --schedule myfaults.json --scale small
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from .analysis.report import format_table
 from .analysis.sweep import sweep_load
 from .core.registry import PAPER_ALGORITHMS, algorithm_names, make_algorithm
 from .experiments import (
+    faults as faults_experiment,
     fig1_paths,
     fig2_scalability,
     fig3_cost,
@@ -58,6 +62,9 @@ FIGURES = {
     "irregular": lambda scale, workers: irregular.render(irregular.run(scale=scale)),
     "table_area": lambda scale, workers: table_area.render(table_area.run()),
     "transient": lambda scale, workers: transient.render(transient.run(scale=scale)),
+    "faults": lambda scale, workers: faults_experiment.render(
+        faults_experiment.run(scale=scale)
+    ),
 }
 
 
@@ -98,6 +105,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for sweep-grid figures "
                    "(0 = all cores; default: serial)")
+
+    p = sub.add_parser(
+        "faults", help="mid-run fault-injection transient (docs/FAULTS.md)"
+    )
+    p.add_argument("--algorithms", nargs="+",
+                   default=["DOR", "DimWAR", "OmniWAR"],
+                   choices=algorithm_names())
+    p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    p.add_argument("--rate", type=float, default=0.2,
+                   help="offered load in flits/cycle/terminal")
+    p.add_argument("--fail-links", type=int, default=2,
+                   help="random link failures injected mid-run")
+    p.add_argument("--fail-routers", type=int, default=0,
+                   help="random router failures injected mid-run")
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="seed for the connectivity-preserving fault sample")
+    p.add_argument("--schedule", default=None, metavar="FILE",
+                   help="JSON fault-schedule file (overrides the random "
+                   "--fail-links/--fail-routers sample)")
+    p.add_argument("--seed", type=int, default=4, help="traffic seed")
 
     sub.add_parser("list", help="list algorithms, patterns, figures, scales")
     return parser
@@ -140,6 +167,25 @@ def _cmd_stencil(args) -> str:
     return fig8_stencil.render(result, algorithms=tuple(args.algorithms))
 
 
+def _cmd_faults(args) -> str:
+    schedule = None
+    if args.schedule is not None:
+        from .faults.model import FaultSchedule
+
+        schedule = FaultSchedule.load(args.schedule)
+    results = faults_experiment.run(
+        algorithms=tuple(args.algorithms),
+        scale=args.scale,
+        rate=args.rate,
+        fail_links=args.fail_links,
+        fail_routers=args.fail_routers,
+        fault_seed=args.fault_seed,
+        seed=args.seed,
+        schedule=schedule,
+    )
+    return faults_experiment.render(results)
+
+
 def _cmd_list() -> str:
     lines = [
         "algorithms : " + ", ".join(algorithm_names()),
@@ -159,6 +205,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "figure":
         print(FIGURES[args.name](get_scale(args.scale),
                                  resolve_workers(args.workers)))
+    elif args.command == "faults":
+        print(_cmd_faults(args))
     elif args.command == "list":
         print(_cmd_list())
     return 0

@@ -26,6 +26,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..topology.base import Topology
 
 
+class NoRouteError(RuntimeError):
+    """No viable candidate exists for a packet at a router.
+
+    Raised by the router when an algorithm returns an empty candidate list —
+    on a pristine topology that is a bug, but under injected faults it is the
+    defined way for an algorithm to report an unreachable (or
+    restriction-blocked) destination instead of hanging.  The fault transient
+    experiment catches it and reports the affected pair.
+    """
+
+
 class RouterView(Protocol):
     """The slice of router state a routing algorithm may observe.
 
@@ -98,6 +109,9 @@ class RoutingAlgorithm:
     packet_contents: str = "none"
     #: special router architecture requirements (Table 1)
     architecture_requirements: str = "none"
+    #: True when the algorithm masks failed ports from a
+    #: ``repro.faults.DegradedTopology`` in :meth:`candidates`
+    fault_aware: bool = False
 
     def __init__(self, topology: "Topology"):
         self.topology = topology

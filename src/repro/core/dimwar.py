@@ -22,6 +22,16 @@ hops in higher dimensions — so the channel-dependency graph is acyclic with
 just **2 VCs regardless of dimensionality**, the algorithm's headline
 practicality property.  All routing state is carried by the VC index alone:
 no fields are added to the packet.
+
+Behaviour under faults (constructed on a ``DegradedTopology``): the weight
+machinery already chooses among minimal and deroute candidates, so fault
+handling is pure masking — a dead minimal hop is simply not offered, and
+deroutes are filtered to those whose lateral hop *and* the detour router's
+onward aligning hop survive.  The one new mechanism is the class-1 corner
+(packet just derouted, forced minimal hop dead): the packet takes a monotone
+escape hop — a surviving lateral move to a strictly higher coordinate, still
+on class 1 — which keeps the channel-dependency graph acyclic (docs/FAULTS.md
+gives the full argument; the fault tests check it mechanically).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ class DimWAR(HyperXRouting):
     dimension_ordered = True
     deadlock_handling = "restricted routes & resource classes"
     packet_contents = "none"
+    fault_aware = True
 
     def cache_key(self, ctx: RouteContext, dest_router: int):
         # Besides the destination, candidates depend only on whether the
@@ -53,16 +64,44 @@ class DimWAR(HyperXRouting):
         assert dim is not None, "router never routes packets already at destination"
         remaining = sum(1 for a, b in zip(here, dest) if a != b)
         on_min_class = ctx.from_terminal or ctx.input_vc_class == 0
+        f = self.routing_faults(rid)
 
-        cands = [
-            RouteCandidate(
-                out_port=self.min_port(rid, dim, dest[dim]),
-                vc_class=0,
-                hops=remaining,
+        if f is None:
+            cands = [
+                RouteCandidate(
+                    out_port=self.min_port(rid, dim, dest[dim]),
+                    vc_class=0,
+                    hops=remaining,
+                )
+            ]
+            if on_min_class:
+                for port in self.deroute_ports(rid, dim, here[dim], dest[dim]):
+                    cands.append(
+                        RouteCandidate(
+                            out_port=port, vc_class=1, hops=remaining + 1, deroute=True
+                        )
+                    )
+            return cands
+
+        # Fault path: mask dead ports; escape hops cover the class-1 corner.
+        cands = []
+        min_port = self.min_port(rid, dim, dest[dim])
+        min_alive = (rid, min_port) not in f.failed_ports
+        if min_alive:
+            cands.append(
+                RouteCandidate(out_port=min_port, vc_class=0, hops=remaining)
             )
-        ]
+        else:
+            f.masked_candidates += 1
         if on_min_class:
-            for port in self.deroute_ports(rid, dim, here[dim], dest[dim]):
+            for port in self.viable_deroute_ports(rid, dim, here[dim], dest[dim]):
+                cands.append(
+                    RouteCandidate(
+                        out_port=port, vc_class=1, hops=remaining + 1, deroute=True
+                    )
+                )
+        elif not min_alive:
+            for port in self.escape_ports(rid, dim, here[dim], dest[dim]):
                 cands.append(
                     RouteCandidate(
                         out_port=port, vc_class=1, hops=remaining + 1, deroute=True

@@ -8,6 +8,17 @@ single resource class suffices (restricted routes).
 DOR is the deterministic baseline of the paper's evaluation (Table 2); it
 achieves full throughput only on perfectly load-balanced traffic and collapses
 to ``1/(w*T)`` throughput on DCR (Figure 6f).
+
+Behaviour under faults (constructed on a ``DegradedTopology``): DOR has no
+adaptivity to absorb a dead link, so a second resource class is enabled and
+used as a *fallback deroute* class — when the dimension-order hop is dead the
+packet takes one lateral deroute (class 1) inside the current dimension, then
+resumes forced-minimal routing.  If the forced minimal hop is dead *while
+already on class 1*, the packet may only take monotone escape hops (lateral
+moves to strictly higher coordinates, keeping the dependency graph acyclic —
+see docs/FAULTS.md).  When no viable port survives the router raises
+:class:`~repro.core.base.NoRouteError`: DOR reports unreachable pairs
+explicitly rather than hanging.
 """
 
 from __future__ import annotations
@@ -23,17 +34,44 @@ class DimensionOrderRouting(HyperXRouting):
     dimension_ordered = True
     deadlock_handling = "restricted routes"
     packet_contents = "none"
+    fault_aware = True
+
+    def __init__(self, topology):
+        super().__init__(topology)
+        if self.faults is not None:
+            # Fallback deroutes around dead links need a second class.
+            self.num_classes = 2
+            self.deadlock_handling = "restricted routes & resource classes"
 
     def cache_key(self, ctx: RouteContext, dest_router: int):
         # Candidates depend only on the (fixed) current router and the
-        # destination coordinates.
-        return (dest_router,)
+        # destination coordinates — plus, under faults, whether the packet
+        # is on the minimal class (fallback deroutes permitted).
+        if self.faults is None:
+            return (dest_router,)
+        on_min = ctx.from_terminal or ctx.input_vc_class == 0
+        return (dest_router, on_min)
 
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
         here = self.here(ctx)
         dest = self.dest_coords(ctx.packet)
-        hop = self.dor_port(ctx.router.router_id, here, dest)
+        rid = ctx.router.router_id
+        hop = self.dor_port(rid, here, dest)
         assert hop is not None, "router never routes packets already at destination"
-        port, _ = hop
+        port, dim = hop
         remaining = sum(1 for a, b in zip(here, dest) if a != b)
-        return [RouteCandidate(out_port=port, vc_class=0, hops=remaining)]
+        f = self.routing_faults(rid)
+        if f is None:
+            return [RouteCandidate(out_port=port, vc_class=0, hops=remaining)]
+        if (rid, port) not in f.failed_ports:
+            return [RouteCandidate(out_port=port, vc_class=0, hops=remaining)]
+        f.masked_candidates += 1
+        on_min = ctx.from_terminal or ctx.input_vc_class == 0
+        if on_min:
+            ports = self.viable_deroute_ports(rid, dim, here[dim], dest[dim])
+        else:
+            ports = self.escape_ports(rid, dim, here[dim], dest[dim])
+        return [
+            RouteCandidate(out_port=p, vc_class=1, hops=remaining + 1, deroute=True)
+            for p in ports
+        ]  # empty => the router raises NoRouteError (unreachable, reported)

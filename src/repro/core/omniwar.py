@@ -20,6 +20,20 @@ function of the input port and candidate output ports — no packet state.
 
 As with DimWAR, all routing state lives in the VC identifier; the packet
 format is untouched.
+
+Behaviour under faults (constructed on a ``DegradedTopology``): pure masking
+— dead minimal ports are dropped from the candidate list and deroutes are
+filtered to survivors whose detour router keeps a live onward aligning hop.
+Because OmniWAR may move in *any* unaligned dimension, a dead link in one
+dimension rarely constrains the packet: some other unaligned dimension's
+minimal hop is usually alive, and the distance-class argument is untouched
+by masking (removing candidates cannot create a cycle).  The only loss
+corner is a packet whose remaining minimal hops exactly consume its
+remaining distance classes *and* whose every minimal port is dead — then the
+candidate list is empty and the router raises
+:class:`~repro.core.base.NoRouteError` (counted by the fault experiment,
+not a hang).  A deroute budget of ``M = N`` makes this vanishingly rare for
+small fault counts.
 """
 
 from __future__ import annotations
@@ -34,6 +48,7 @@ class OmniWAR(HyperXRouting):
     dimension_ordered = False
     deadlock_handling = "restricted routes & distance classes"
     packet_contents = "none"
+    fault_aware = True
 
     def __init__(self, topology, deroutes: int | None = None,
                  restrict_back_to_back: bool = False):
@@ -75,19 +90,29 @@ class OmniWAR(HyperXRouting):
         if self.restrict_back_to_back and not ctx.from_terminal:
             input_dim = self.hx.port_dim(rid, ctx.input_port)
 
+        f = self.routing_faults(rid)
+        masking = f is not None
         cands: list[RouteCandidate] = []
         for d in range(self.hx.num_dims):
             if here[d] == dest[d]:
                 continue  # only unaligned dimensions are valid (step 3)
-            cands.append(
-                RouteCandidate(
-                    out_port=self.min_port(rid, d, dest[d]),
-                    vc_class=klass,
-                    hops=remaining,
+            min_port = self.min_port(rid, d, dest[d])
+            if masking and (rid, min_port) in f.failed_ports:
+                f.masked_candidates += 1
+            else:
+                cands.append(
+                    RouteCandidate(
+                        out_port=min_port,
+                        vc_class=klass,
+                        hops=remaining,
+                    )
                 )
-            )
             if may_deroute and d != input_dim:
-                for port in self.deroute_ports(rid, d, here[d], dest[d]):
+                if masking:
+                    ports = self.viable_deroute_ports(rid, d, here[d], dest[d])
+                else:
+                    ports = self.deroute_ports(rid, d, here[d], dest[d])
+                for port in ports:
                     cands.append(
                         RouteCandidate(
                             out_port=port,

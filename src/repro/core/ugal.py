@@ -12,6 +12,17 @@ incremental DimWAR/OmniWAR.
 
 Resource classes as for VAL: class 0 = toward the intermediate, class 1 =
 toward the destination (minimal-mode packets start in class 1).
+
+Behaviour under faults (constructed on a ``DegradedTopology``): the source
+decision only offers paths whose *entire* DOR route (both halves, for
+Valiant) survives the currently-known faults, drawing extra intermediate
+candidates when needed.  That is the best a source-adaptive scheme can do —
+and also its documented limitation: a link that dies *after* the packet
+committed invalidates a pinned path mid-flight, the per-hop candidate
+becomes empty, and the router raises
+:class:`~repro.core.base.NoRouteError` for that packet (reported, never a
+hang).  The incremental algorithms have no such window; see
+docs/ALGORITHMS.md.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ class Ugal(HyperXRouting):
     dimension_ordered = True
     deadlock_handling = "restricted routes & resource classes"
     packet_contents = "int. addr."
+    fault_aware = True
 
     def __init__(self, topology, seed: int = 11, val_candidates: int = 1):
         super().__init__(topology)
@@ -51,16 +63,26 @@ class Ugal(HyperXRouting):
             if not state.get("ugal_phase2") and here == inter:
                 state["ugal_phase2"] = True
             if not state.get("ugal_phase2"):
-                hop = self.dor_port(ctx.router.router_id, here, inter)
+                rid = ctx.router.router_id
+                hop = self.dor_port(rid, here, inter)
                 assert hop is not None
+                f = self.routing_faults(rid)
+                if f is not None and (rid, hop[0]) in f.failed_ports:
+                    # Committed path died mid-flight: the source-adaptive
+                    # limitation — report unreachable via NoRouteError.
+                    return []
                 hops = self.hx.min_hops(
                     ctx.router.router_id, self.hx.router_id(inter)
                 ) + self.hx.min_hops(
                     self.hx.router_id(inter), self.dest_router(ctx.packet)
                 )
                 return [RouteCandidate(out_port=hop[0], vc_class=0, hops=hops)]
-        hop = self.dor_port(ctx.router.router_id, here, dest)
+        rid = ctx.router.router_id
+        hop = self.dor_port(rid, here, dest)
         assert hop is not None
+        f = self.routing_faults(rid)
+        if f is not None and (rid, hop[0]) in f.failed_ports:
+            return []  # committed path died mid-flight (see module docstring)
         remaining = sum(1 for a, b in zip(here, dest) if a != b)
         return [RouteCandidate(out_port=hop[0], vc_class=1, hops=remaining)]
 
@@ -74,13 +96,34 @@ class Ugal(HyperXRouting):
         min_hop = self.dor_port(rid, here, dest)
         assert min_hop is not None
         remaining = sum(1 for a, b in zip(here, dest) if a != b)
-        cands = [RouteCandidate(out_port=min_hop[0], vc_class=1, hops=remaining)]
+        f = self.routing_faults(rid)
+        masking = f is not None
+        cands = []
+        if not masking or self.dor_path_alive(rid, here, dest):
+            cands.append(
+                RouteCandidate(out_port=min_hop[0], vc_class=1, hops=remaining)
+            )
+        elif masking:
+            f.masked_candidates += 1
         proposals: dict[int, tuple[int, ...]] = {}
-        for _ in range(self.val_candidates):
+        # Under faults, allow extra intermediate draws so a dead minimal
+        # path still yields live Valiant alternatives.  The no-fault branch
+        # keeps the RNG draw count identical to the pristine algorithm.
+        draws = self.val_candidates if not masking else max(self.val_candidates, 32)
+        wanted = self.val_candidates
+        for _ in range(draws):
+            if len(proposals) >= wanted:
+                break
             irid = int(self.rng.integers(self.hx.num_routers))
             if irid == rid or irid == self.dest_router(ctx.packet):
                 continue  # degenerate intermediate: identical to minimal
             inter = self.hx.coords(irid)
+            if masking and not (
+                self.dor_path_alive(rid, here, inter)
+                and self.dor_path_alive(irid, inter, dest)
+            ):
+                f.masked_candidates += 1
+                continue
             hop = self.dor_port(rid, here, inter)
             assert hop is not None
             hops = self.hx.min_hops(rid, irid) + self.hx.min_hops(

@@ -12,10 +12,12 @@ module                       regenerates
 ``fig8_stencil``             Figures 8a-8c (stencil per algorithm)
 ``table1_comparison``        Table 1 (implementation comparison)
 ``transient``                transient response (extension experiment)
+``faults``                   fault-injection transient (docs/FAULTS.md)
 ===========================  ====================================
 """
 
 from . import (
+    faults,
     fig1_paths,
     fig2_scalability,
     fig3_cost,
@@ -32,6 +34,7 @@ from . import (
 from .common import SCALES, Scale, get_scale
 
 __all__ = [
+    "faults",
     "fig1_paths",
     "fig2_scalability",
     "fig3_cost",

@@ -17,11 +17,17 @@ from .types import Flit
 
 @dataclass
 class VcRoute:
-    """Route assignment for the packet at the head of an input VC."""
+    """Route assignment for the packet at the head of an input VC.
+
+    ``deroute`` records whether the chosen candidate was a deroute, so a
+    revoked-before-started route (fault injection) can un-count the packet's
+    ``hops``/``deroutes`` telemetry exactly.
+    """
 
     out_port: int
     out_vc: int
     packet_id: int
+    deroute: bool = False
 
 
 class VcState:

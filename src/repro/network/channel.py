@@ -31,7 +31,7 @@ class Channel:
     per cycle (``limit_rate=False``).
     """
 
-    __slots__ = ("latency", "name", "limit_rate", "_pipe", "_sink", "_last_push_cycle", "utilization_count", "_active_set")
+    __slots__ = ("latency", "name", "limit_rate", "min_gap", "_pipe", "_sink", "_last_push_cycle", "utilization_count", "_active_set")
 
     def __init__(
         self,
@@ -45,6 +45,10 @@ class Channel:
         self.latency = latency
         self.name = name
         self.limit_rate = limit_rate
+        #: minimum cycles between pushes; > 1 models a degraded-bandwidth
+        #: link (set by the fault injector).  The router's output stage
+        #: checks it before arbitrating for the port.
+        self.min_gap = 1
         self._sink = sink
         self._pipe: deque[tuple[int, Any]] = deque()
         self._last_push_cycle = -1

@@ -44,6 +44,9 @@ class Network:
         self.algorithm = algorithm
         self.cfg = cfg
         self.vc_map = VcMap(algorithm.num_classes, cfg.router.num_vcs)
+        #: shared FaultState when built on a repro.faults.DegradedTopology
+        #: (None on a pristine topology); the FaultInjector requires it.
+        self.fault_state = getattr(topology, "faults", None)
 
         # Shared activity registries (insertion-ordered dicts used as sets).
         # Channels register on the empty->busy push transition; routers and
@@ -91,6 +94,8 @@ class Network:
         for r in range(topo.num_routers):
             a = self.routers[r]
             for port, peer in topo.router_ports(r):
+                # Missing peers (statically-failed ports of a degraded
+                # topology) are simply left unwired.
                 if peer.is_router:
                     rp = peer.router_port
                     b = self.routers[rp.router]
@@ -103,7 +108,7 @@ class Network:
                         f"cr r{rp.router}->r{r}p{port}", limit_rate=False,
                     )
                     b.attach_credit_return(rp.port, cred)
-                else:
+                elif peer.is_terminal:
                     t = self.terminals[peer.terminal]
                     # Terminal -> router (injection).
                     inj = self._channel(
@@ -161,18 +166,35 @@ class Network:
             and all(not ch.busy for ch in self.channels)
         )
 
+    def invalidate_route_caches(self) -> None:
+        """Drop every router's memoised candidate lists.
+
+        Called by the fault injector when the fault state's epoch changes:
+        cached candidate lists may reference ports that just failed.
+        """
+        for r in self.routers:
+            r._route_cache.clear()
+
     def validate_wiring(self) -> None:
         """Check construction invariants; raises ``AssertionError``.
 
-        * every router-facing port has a data channel and credit tracker,
-        * every terminal is attached on both directions,
-        * channel counts match the topology's structure.
+        * every *wired* router-facing port has a data channel and credit
+          tracker (ports with missing peers — statically-failed, on a
+          degraded topology — are unwired on every attachment),
+        * every alive terminal is attached on both directions; terminals of
+          statically-failed routers are fully detached,
+        * channel counts match the surviving structure.
         """
         topo = self.topology
         expected_channels = 0
         for r in range(topo.num_routers):
             router = self.routers[r]
             for port, peer in topo.router_ports(r):
+                if peer.is_missing:
+                    assert router.out_channels[port] is None, (
+                        f"router {r} failed port {port} has an output channel"
+                    )
+                    continue
                 assert router.out_channels[port] is not None, (
                     f"router {r} port {port} has no output channel"
                 )
@@ -184,7 +206,11 @@ class Network:
                 )
                 expected_channels += 2  # data out + credit return
         for t in self.terminals:
-            assert t.inject_channel is not None and t.inject_credits is not None
+            if t.inject_channel is None:
+                # Terminal of a statically-failed router: fully detached.
+                assert t.inject_credits is None and t.eject_credit_channel is None
+                continue
+            assert t.inject_credits is not None
             assert t.eject_credit_channel is not None
             expected_channels += 2  # injection data + ejection credit
         assert len(self.channels) == expected_channels, (

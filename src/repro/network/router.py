@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..core.base import RouteCandidate, RouteContext
+from ..core.base import NoRouteError, RouteCandidate, RouteContext
 from ..core.weights import get_estimator, route_weight
 from .buffers import CreditTracker, InputUnit, VcRoute
 from .channel import Channel
@@ -293,6 +293,12 @@ class Router:
             if staged_count[port] == 0:
                 del active[port]
                 continue
+            ch = self.out_channels[port]
+            # Degraded-bandwidth link (fault injection): at most one flit
+            # every min_gap cycles.  Healthy channels short-circuit on the
+            # first comparison.
+            if ch.min_gap > 1 and cycle - ch._last_push_cycle < ch.min_gap:
+                continue
             staged = self.staged[port]
             best_vc = -1
             if self._age_arbitration:
@@ -318,7 +324,7 @@ class Router:
                 continue  # nothing past the crossbar yet this cycle
             _, flit = staged[best_vc].popleft()
             staged_count[port] -= 1
-            self.out_channels[port].push(cycle, (best_vc, flit))
+            ch.push(cycle, (best_vc, flit))
             if staged_count[port] == 0:
                 del active[port]
 
@@ -352,7 +358,7 @@ class Router:
                 if len(self._route_cache) < self._route_cache_cap:
                     self._route_cache[ck] = cands
         if not cands:
-            raise RuntimeError(
+            raise NoRouteError(
                 f"{algorithm.name} returned no candidates at router "
                 f"{self.router_id} for packet {packet.pid}"
             )
@@ -397,7 +403,45 @@ class Router:
                 packet.port_trace = []
             packet.vc_trace.append(out_vc)
             packet.port_trace.append(cand.out_port)
-        return VcRoute(cand.out_port, out_vc, packet.pid)
+        return VcRoute(cand.out_port, out_vc, packet.pid, cand.deroute)
+
+    def revoke_unstarted_routes(self, ports: set[int]) -> int:
+        """Un-commit routes through ``ports`` whose wormhole has not started.
+
+        Called by the fault injector when output ports fail mid-run.  A route
+        is revocable only while its head flit is still first in the input
+        FIFO (``index == 0`` at the head means zero flits were forwarded, so
+        zero downstream credits were consumed): the output-VC ownership is
+        released, the packet's hop/deroute telemetry is un-counted, and the
+        input VC is re-woken so the next cycle recomputes a route over the
+        surviving candidates.  Routes whose transfer already started are left
+        alone — the flits drain over the physically-present channel
+        (fail-stop at routing granularity, lossless drain).  Returns the
+        number of routes revoked.
+        """
+        revoked = 0
+        for port in range(self.radix):
+            unit = self.inputs[port]
+            for vc, state in enumerate(unit.vcs):
+                route = state.route
+                if route is None or route.out_port not in ports:
+                    continue
+                head = state.fifo[0] if state.fifo else None
+                if head is None or not head.is_head or head.index != 0:
+                    continue  # transfer started (or head already moved on): drain
+                self.out_vc_owner[route.out_port][route.out_vc] = None
+                state.route = None
+                packet = head.packet
+                packet.hops -= 1
+                if route.deroute:
+                    packet.deroutes -= 1
+                if self._track_vc_trace and packet.vc_trace:
+                    packet.vc_trace.pop()
+                    packet.port_trace.pop()
+                self._active_in[(port, vc)] = True
+                self._wake_registry[self] = None
+                revoked += 1
+        return revoked
 
     def _allocate_vc(self, out_port: int, vc_class: int, pid: int) -> int | None:
         """Pick a free, credited VC in the class group; None when infeasible."""

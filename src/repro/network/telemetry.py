@@ -9,6 +9,26 @@ buffer-occupancy snapshots.
 
 Utilization is flits pushed over cycles elapsed — i.e. the fraction of the
 channel's capacity actually used in [window_start, now).
+
+Fault telemetry: networks built on a :class:`~repro.faults.DegradedTopology`
+carry a shared fault state whose counters
+(:meth:`TelemetryProbe.fault_counters`) record how routing reacted —
+candidates masked, committed routes revoked, fault events applied.
+
+Example::
+
+    >>> from repro.config import SimConfig
+    >>> from repro.core.registry import make_algorithm
+    >>> from repro.network.network import Network
+    >>> from repro.network.telemetry import TelemetryProbe
+    >>> from repro.topology.hyperx import HyperX
+    >>> topo = HyperX((2, 2), 1)
+    >>> net = Network(topo, make_algorithm("DOR", topo), SimConfig())
+    >>> probe = TelemetryProbe(net)
+    >>> probe.fault_counters()["failed_links"]  # pristine topology: all zero
+    0
+    >>> probe.utilization_summary(cycle=100)["max"]
+    0.0
 """
 
 from __future__ import annotations
@@ -83,12 +103,15 @@ class TelemetryProbe:
     def dimension_utilization(self, cycle: int) -> dict[int, float]:
         """Mean utilization per HyperX dimension (HyperX networks only)."""
         topo = self.network.topology
-        if not isinstance(topo, HyperX):
+        # A DegradedTopology wrapper delegates port_dim etc.; unwrap for the
+        # type check so fault experiments get dimension aggregates too.
+        hx = getattr(topo, "base", topo)
+        if not isinstance(hx, HyperX):
             raise TypeError("dimension_utilization requires a HyperX network")
-        sums: dict[int, float] = {d: 0.0 for d in range(topo.num_dims)}
-        counts: dict[int, int] = {d: 0 for d in range(topo.num_dims)}
+        sums: dict[int, float] = {d: 0.0 for d in range(hx.num_dims)}
+        counts: dict[int, int] = {d: 0 for d in range(hx.num_dims)}
         for s in self.link_stats(cycle):
-            d = topo.port_dim(s.src_router, s.src_port)
+            d = hx.port_dim(s.src_router, s.src_port)
             sums[d] += s.utilization
             counts[d] += 1
         return {d: (sums[d] / counts[d] if counts[d] else 0.0) for d in sums}
@@ -107,6 +130,38 @@ class TelemetryProbe:
         if mean == 0:
             return 1.0
         return max(loads) / mean
+
+    # ------------------------------------------------------------------
+    # Fault telemetry
+    # ------------------------------------------------------------------
+
+    def fault_counters(self) -> dict[str, int]:
+        """Per-fault counters from the network's shared fault state.
+
+        All zeros when the network was built on a pristine topology.
+        ``masked_candidates`` counts ports filtered at candidate-computation
+        time (cached candidate lists do not recount), ``revoked_routes``
+        counts committed-but-unstarted routes undone by mid-run fault
+        events, ``events_applied`` counts schedule events fired.
+        """
+        state = getattr(self.network, "fault_state", None)
+        if state is None:
+            return {
+                "failed_links": 0,
+                "failed_routers": 0,
+                "degraded_links": 0,
+                "masked_candidates": 0,
+                "revoked_routes": 0,
+                "events_applied": 0,
+            }
+        return {
+            "failed_links": state.num_failed_links,
+            "failed_routers": len(state.failed_routers),
+            "degraded_links": len(state.degraded) // 2,
+            "masked_candidates": state.masked_candidates,
+            "revoked_routes": state.revoked_routes,
+            "events_applied": state.events_applied,
+        }
 
     # ------------------------------------------------------------------
     # Instantaneous state

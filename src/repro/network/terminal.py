@@ -111,6 +111,11 @@ class Terminal:
         """Append a packet to the source queue."""
         if packet.src_terminal != self.terminal_id:
             raise ValueError("packet offered to the wrong terminal")
+        if self.inject_channel is None:
+            raise RuntimeError(
+                f"terminal {self.terminal_id} is detached (its router failed "
+                f"statically); exclude it from traffic generation"
+            )
         self.source_queue.append(packet)
         self._wake_registry[self] = None
 

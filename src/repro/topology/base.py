@@ -40,6 +40,15 @@ class PortPeer:
     def is_router(self) -> bool:
         return self.router_port is not None
 
+    @property
+    def is_missing(self) -> bool:
+        """Neither router nor terminal: a masked (faulted) port.
+
+        Pristine topologies never return missing peers; only the
+        ``repro.faults.DegradedTopology`` wrapper does, for failed ports.
+        """
+        return self.router_port is None and self.terminal is None
+
 
 class Topology:
     """Base class for all topologies.
@@ -105,14 +114,30 @@ class Topology:
     def validate(self) -> None:
         """Check structural invariants; raises ``AssertionError`` on violation.
 
-        * every router port has a peer and peering is symmetric,
+        * every router port has a peer (router or terminal — never missing),
+        * peering is bidirectionally symmetric: ``peer(peer(r, p))`` round-
+          trips, peers are in range, and no port loops back to its own router,
         * every terminal is attached to a router port that points back at it,
         * terminal ids are dense.
         """
         for r in range(self.num_routers):
             for port, peer in self.router_ports(r):
+                assert peer.is_router or peer.is_terminal, (
+                    f"router {r} port {port} has no peer"
+                )
                 if peer.is_router:
                     rp = peer.router_port
+                    assert 0 <= rp.router < self.num_routers, (
+                        f"peer router {rp.router} of router {r} port {port} "
+                        f"out of range"
+                    )
+                    assert 0 <= rp.port < self.radix(rp.router), (
+                        f"peer port {rp.port} of router {r} port {port} "
+                        f"out of range"
+                    )
+                    assert rp.router != r, (
+                        f"router {r} port {port} loops back to itself"
+                    )
                     back = self.peer(rp.router, rp.port)
                     assert back.is_router, (
                         f"asymmetric channel at router {r} port {port}"

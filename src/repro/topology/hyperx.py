@@ -185,6 +185,15 @@ class HyperX(Topology):
         router, local = divmod(terminal, self.terminals_per_router)
         return RouterPort(router, self.terminal_port(local))
 
+    def neighbor(self, router: int, dim: int, coord: int) -> int:
+        """Id of the router at ``coord`` in dimension ``dim`` from ``router``."""
+        own = self.coords(router)[dim]
+        if coord == own:
+            raise ValueError("neighbor coordinate equals own coordinate")
+        if not 0 <= coord < self.widths[dim]:
+            raise ValueError(f"coordinate {coord} out of range")
+        return router + (coord - own) * self._strides[dim]
+
     # ------------------------------------------------------------------
     # Distance / routing helpers
     # ------------------------------------------------------------------

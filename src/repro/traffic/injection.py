@@ -36,6 +36,7 @@ class SyntheticTraffic:
         size_dist: SizeDistribution | None = None,
         seed: int = 1,
         warmup_mark: int = 0,
+        sources: "list[int] | None" = None,
     ):
         if not 0.0 <= rate <= 1.0:
             raise ValueError("offered rate is in flits/cycle/terminal, [0, 1]")
@@ -50,13 +51,28 @@ class SyntheticTraffic:
         self.packets_generated = 0
         self.flits_generated = 0
         self._num_terminals = network.topology.num_terminals
+        #: restrict generation to these terminals (fault experiments exclude
+        #: the detached terminals of statically-failed routers); None keeps
+        #: the default all-terminals path byte-identical.
+        self._sources = None
+        if sources is not None:
+            self._sources = np.array(sorted(set(int(s) for s in sources)))
+            if self._sources.size == 0:
+                raise ValueError("sources must name at least one terminal")
+            if self._sources[0] < 0 or self._sources[-1] >= self._num_terminals:
+                raise ValueError("source terminal id out of range")
         self._p = rate / self.size_dist.mean
 
     def __call__(self, cycle: int) -> None:
         if not self.enabled or self._p <= 0.0:
             return
-        draws = self.rng.random(self._num_terminals)
-        for src in np.nonzero(draws < self._p)[0]:
+        if self._sources is None:
+            draws = self.rng.random(self._num_terminals)
+            srcs = np.nonzero(draws < self._p)[0]
+        else:
+            draws = self.rng.random(self._sources.size)
+            srcs = self._sources[draws < self._p]
+        for src in srcs:
             src = int(src)
             dst = self.pattern.dest(src, self.rng)
             size = self.size_dist.sample(self.rng)

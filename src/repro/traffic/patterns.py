@@ -40,6 +40,33 @@ class UniformRandom(TrafficPattern):
         return d + 1 if d >= src else d
 
 
+class UniformRandomSubset(TrafficPattern):
+    """URsub: uniform random over an allowed subset of terminals.
+
+    Used by the fault experiments to keep traffic off the detached terminals
+    of statically-failed routers; destinations are drawn uniformly from
+    ``allowed`` (excluding the source when it is itself allowed).
+    """
+
+    name = "URsub"
+
+    def __init__(self, num_terminals: int, allowed: "list[int]"):
+        super().__init__(num_terminals)
+        self.allowed = sorted(set(int(t) for t in allowed))
+        if len(self.allowed) < 2:
+            raise ValueError("need at least two allowed terminals")
+        if self.allowed[0] < 0 or self.allowed[-1] >= num_terminals:
+            raise ValueError("allowed terminal id out of range")
+        self._allowed_arr = np.array(self.allowed)
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        while True:
+            d = int(self._allowed_arr[rng.integers(self._allowed_arr.size)])
+            if d != src:
+                return d
+
+
 class BitComplement(TrafficPattern):
     """BC: destination id is the bitwise complement of the source id."""
 

@@ -5,10 +5,13 @@ benchmarks, and CLI figures that actually exist, and that every public
 module has a docstring.
 """
 
+import doctest
 import importlib
 import os
 import pkgutil
 import re
+
+import pytest
 
 import repro
 
@@ -67,6 +70,61 @@ def test_every_module_has_docstring():
         if not (mod.__doc__ or "").strip():
             missing.append(m.name)
     assert not missing, f"modules without docstrings: {missing}"
+
+
+def _markdown_files():
+    out = []
+    for d in (ROOT, os.path.join(ROOT, "docs")):
+        for fn in sorted(os.listdir(d)):
+            if fn.endswith(".md"):
+                out.append(os.path.join(d, fn))
+    return out
+
+
+def test_markdown_links_resolve():
+    """Every relative link in root and docs/ markdown points at a real file."""
+    link = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+    bad = []
+    for path in _markdown_files():
+        with open(path) as f:
+            text = f.read()
+        for target in link.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+            if not os.path.exists(resolved):
+                bad.append(f"{os.path.relpath(path, ROOT)} -> {target}")
+    assert not bad, f"markdown links to missing files: {bad}"
+
+
+def test_faults_doc_covers_the_cli():
+    text = _read(os.path.join("docs", "FAULTS.md"))
+    for flag in ("--fail-links", "--fail-routers", "--fault-seed", "--schedule"):
+        assert flag in text, f"docs/FAULTS.md does not document {flag}"
+    assert "python -m repro faults" in text
+
+
+#: Modules whose docstrings promise runnable examples (ISSUE: fault modules
+#: plus the parallel engine and telemetry probe).
+DOCTEST_MODULES = [
+    "repro.faults",
+    "repro.faults.model",
+    "repro.faults.degraded",
+    "repro.faults.inject",
+    "repro.analysis.parallel",
+    "repro.network.telemetry",
+]
+
+
+@pytest.mark.parametrize("name", DOCTEST_MODULES)
+def test_module_doctests_pass(name):
+    mod = importlib.import_module(name)
+    result = doctest.testmod(mod, verbose=False)
+    assert result.attempted > 0, f"{name} has no doctest examples"
+    assert result.failed == 0, f"{name} doctests failed"
 
 
 def test_public_algorithms_documented_in_algorithms_md():

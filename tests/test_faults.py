@@ -1,0 +1,421 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Covers the fault model (FaultSet resolution, schedules, random sampling),
+the DegradedTopology invariants (peer symmetry, min_hops on the surviving
+graph, validate()), deadlock freedom of the fault-aware algorithms with
+masked ports, mid-run injection mechanics (route revocation, degraded
+bandwidth), and the acceptance scenario of docs/FAULTS.md: an 8x8 HyperX
+with three failed links still delivers 100% of its traffic.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.base import NoRouteError
+from repro.core.deadlock import assert_deadlock_free
+from repro.core.registry import make_algorithm
+from repro.experiments.faults import run_fault_transient
+from repro.faults import (
+    DegradedTopology,
+    FaultInjector,
+    FaultSchedule,
+    FaultSet,
+    random_faults,
+    random_link_faults,
+)
+from repro.faults.model import FaultEvent
+from repro.network.buffers import VcRoute
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.stats import PacketStats
+from repro.network.types import Flit, Packet
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.fattree import FatTree
+from repro.topology.hyperx import HyperX
+from repro.topology.torus import Torus
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+
+# ---------------------------------------------------------------------------
+# Fault model
+# ---------------------------------------------------------------------------
+
+
+def test_fail_link_is_symmetric():
+    topo = HyperX((3, 3), 1)
+    state = FaultSet().fail_link(0, 0).resolve(topo)
+    assert (0, 0) in state.failed_ports
+    peer = topo.peer(0, 0).router_port
+    assert (peer.router, peer.port) in state.failed_ports
+    assert len(state.failed_ports) == 2
+    assert state.num_failed_links == 1
+    assert state.active
+
+
+def test_fail_router_expands_every_port():
+    topo = HyperX((3, 3), 1)
+    state = FaultSet().fail_router(4).resolve(topo)
+    assert state.failed_routers == {4}
+    # Every router-facing port of 4 is dead in both directions.
+    for port, peer in topo.router_ports(4):
+        assert (4, port) in state.failed_ports
+        if peer.is_router:
+            rp = peer.router_port
+            assert (rp.router, rp.port) in state.failed_ports
+
+
+def test_faultset_is_chainable_and_iterable():
+    fset = FaultSet().fail_link(0, 0).fail_router(3).degrade_link(1, 0, 4)
+    assert len(fset) == 3
+    kinds = {type(f).__name__ for f in fset}
+    assert kinds == {"LinkFault", "RouterFault", "DegradedLink"}
+
+
+def test_degrade_does_not_bump_epoch():
+    topo = HyperX((3, 3), 1)
+    state = FaultSet().resolve(topo)
+    e0 = state.epoch
+    state.degrade_link(0, 0, 4)
+    assert state.epoch == e0  # connectivity unchanged
+    state.fail_link(0, 0)
+    assert state.epoch > e0
+
+
+# ---------------------------------------------------------------------------
+# DegradedTopology invariants
+# ---------------------------------------------------------------------------
+
+
+def test_degraded_peer_missing_but_base_untouched():
+    base = HyperX((3, 3), 1)
+    topo = DegradedTopology(base, FaultSet().fail_link(0, 0))
+    assert topo.peer(0, 0).is_missing
+    peer = base.peer(0, 0).router_port
+    assert topo.peer(peer.router, peer.port).is_missing
+    assert not base.peer(0, 0).is_missing  # the base topology is pristine
+    topo.validate()
+
+
+def test_degraded_rejects_nesting():
+    base = HyperX((2, 2), 1)
+    with pytest.raises(TypeError):
+        DegradedTopology(DegradedTopology(base))
+
+
+def test_min_hops_reflects_surviving_graph():
+    base = HyperX((3, 3), 1)
+    # Fail the direct 0<->1 link: minimal distance grows from 1 to 2.
+    topo = DegradedTopology(base, FaultSet().fail_link(0, 0))
+    assert base.min_hops(0, 1) == 1
+    assert topo.min_hops(0, 1) == 2
+    assert topo.min_hops(0, 0) == 0
+
+
+def test_min_hops_inf_for_partitioned_pairs():
+    base = HyperX((2, 2), 1)
+    # Router 0 has exactly two lateral links (one per dimension); failing
+    # both isolates it from the rest of the network.
+    topo = DegradedTopology(base, FaultSet().fail_link(0, 0).fail_link(0, 1))
+    for other in (1, 2, 3):
+        assert math.isinf(topo.min_hops(0, other))
+        assert math.isinf(topo.min_hops(other, 0))
+    assert topo.min_hops(1, 3) < math.inf
+    topo.validate()  # symmetric even when partitioned
+
+
+def test_validate_catches_hand_broken_asymmetry():
+    base = HyperX((3, 3), 1)
+    topo = DegradedTopology(base)
+    # Break the invariant by failing only one direction of a link.
+    topo.faults.failed_ports.add((0, 0))
+    with pytest.raises(AssertionError):
+        topo.validate()
+
+
+def test_min_hops_cache_invalidated_on_new_faults():
+    base = HyperX((3, 3), 1)
+    topo = DegradedTopology(base)
+    assert topo.min_hops(0, 1) == 1  # populates the BFS cache
+    topo.faults.fail_link(0, 0)  # bumps the epoch
+    assert topo.min_hops(0, 1) == 2
+
+
+def test_random_link_faults_preserve_connectivity():
+    base = HyperX((4, 4), 2)
+    fset = random_link_faults(base, 5, seed=3)
+    topo = DegradedTopology(base, fset)
+    assert topo.faults.num_failed_links == 5
+    for dst in range(base.num_routers):
+        assert topo.min_hops(0, dst) < math.inf
+    topo.validate()
+
+
+def test_random_faults_deterministic_per_seed():
+    base = HyperX((4, 4), 1)
+    a = random_link_faults(base, 3, seed=11).resolve(base)
+    b = random_link_faults(base, 3, seed=11).resolve(base)
+    assert a.failed_ports == b.failed_ports
+
+
+# ---------------------------------------------------------------------------
+# Topology.validate() peer symmetry — all five topologies
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "topo",
+    [
+        HyperX((3, 3), 2),
+        Torus((3, 3), 1, wrap=True),
+        Torus((3, 3), 1, wrap=False),  # mesh
+        FatTree(4, 2),
+        Dragonfly(p=1, a=3, h=2),
+    ],
+    ids=["hyperx", "torus", "mesh", "fattree", "dragonfly"],
+)
+def test_validate_bidirectional_peer_symmetry(topo):
+    topo.validate()
+
+
+# ---------------------------------------------------------------------------
+# Deadlock freedom with masked ports
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["DOR", "DimWAR", "OmniWAR"])
+def test_fault_aware_routing_deadlock_free(name):
+    base = HyperX((3, 3), 1)
+    topo = DegradedTopology(base, random_link_faults(base, 2, seed=5))
+    assert_deadlock_free(topo, make_algorithm(name, topo))
+
+
+def test_dor_gains_fallback_class_under_faults():
+    base = HyperX((3, 3), 1)
+    pristine = make_algorithm("DOR", base)
+    degraded = make_algorithm("DOR", DegradedTopology(base))
+    assert pristine.num_classes == 1
+    assert degraded.num_classes == 2
+
+
+# ---------------------------------------------------------------------------
+# Static faults end-to-end (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+
+def _run_static(topo, algo_name, cycles=400, rate=0.05, seed=2):
+    algo = make_algorithm(algo_name, topo)
+    net = Network(topo, algo, SimConfig())
+    sim = Simulator(net)
+    traffic = SyntheticTraffic(
+        net, UniformRandom(topo.num_terminals), rate, seed=seed
+    )
+    sim.processes.append(traffic)
+    stats = PacketStats()
+    for t in net.terminals:
+        t.delivery_listeners.append(stats.on_delivery)
+    sim.run(cycles)
+    traffic.stop()
+    drained = sim.drain(max_cycles=200_000)
+    return traffic.packets_generated, stats.packets_delivered, drained
+
+
+@pytest.mark.parametrize("name", ["DimWAR", "OmniWAR"])
+def test_8x8_three_failed_links_full_delivery(name):
+    base = HyperX((8, 8), 2)
+    topo = DegradedTopology(base, random_link_faults(base, 3, seed=7))
+    injected, delivered, drained = _run_static(topo, name)
+    assert injected > 0
+    assert drained
+    assert delivered == injected
+
+
+def test_8x8_dor_delivers_or_reports_unreachable():
+    base = HyperX((8, 8), 2)
+    topo = DegradedTopology(base, random_link_faults(base, 3, seed=7))
+    try:
+        injected, delivered, drained = _run_static(topo, "DOR")
+    except NoRouteError:
+        return  # explicitly reported, never hangs
+    assert drained
+    assert delivered == injected
+
+
+def test_static_router_fault_excluding_its_terminals():
+    base = HyperX((3, 3), 2)
+    topo = DegradedTopology(base, FaultSet().fail_router(4))
+    algo = make_algorithm("OmniWAR", topo)
+    net = Network(topo, algo, SimConfig())
+    sim = Simulator(net)
+    alive = [t for t in range(base.num_terminals) if t // 2 != 4]
+    from repro.traffic.patterns import UniformRandomSubset
+
+    traffic = SyntheticTraffic(
+        net,
+        UniformRandomSubset(base.num_terminals, alive),
+        0.05,
+        seed=2,
+        sources=alive,
+    )
+    sim.processes.append(traffic)
+    stats = PacketStats()
+    for t in net.terminals:
+        t.delivery_listeners.append(stats.on_delivery)
+    sim.run(400)
+    traffic.stop()
+    assert sim.drain(max_cycles=100_000)
+    assert stats.packets_delivered == traffic.packets_generated
+    # A detached terminal refuses offered traffic loudly.
+    with pytest.raises(RuntimeError):
+        net.terminals[8].offer(Packet(8, 0, 1, create_cycle=0))
+
+
+# ---------------------------------------------------------------------------
+# Mid-run injection
+# ---------------------------------------------------------------------------
+
+
+def test_injector_requires_degraded_network():
+    base = HyperX((2, 2), 1)
+    net = Network(base, make_algorithm("DOR", base), SimConfig())
+    sched = FaultSchedule([FaultEvent(10, "link", 0, port=0)])
+    with pytest.raises(ValueError):
+        FaultInjector(net, sched)
+
+
+def test_mid_run_recovery_transient():
+    res = run_fault_transient(
+        "DimWAR",
+        scale="smoke",
+        rate=0.1,
+        window=100,
+        pre_windows=2,
+        post_windows=4,
+        fail_links=2,
+        fault_seed=7,
+        seed=4,
+    )
+    assert res.routing_error is None
+    assert res.drained
+    assert res.delivered_fraction == 1.0
+    st = res.settling_time()
+    assert st is not None and st >= 0  # finite recovery
+    assert res.fault_counters["events_applied"] == 2
+    assert res.fault_counters["failed_links"] == 2
+    assert res.fault_counters["masked_candidates"] > 0
+
+
+def test_mid_run_router_failure_recovery():
+    res = run_fault_transient(
+        "OmniWAR",
+        scale="smoke",
+        rate=0.1,
+        window=100,
+        pre_windows=2,
+        post_windows=4,
+        fail_links=0,
+        fail_routers=1,
+        fault_seed=3,
+        seed=4,
+    )
+    assert res.routing_error is None
+    assert res.drained
+    assert res.delivered_fraction == 1.0
+    assert res.fault_counters["failed_routers"] == 1
+
+
+def test_degraded_bandwidth_schedule_sets_min_gap_and_drains():
+    base = HyperX((2, 2), 1)
+    topo = DegradedTopology(base)
+    net = Network(topo, make_algorithm("DimWAR", topo), SimConfig())
+    sim = Simulator(net)
+    sched = FaultSchedule([FaultEvent(50, "degrade", 0, port=0, factor=4)])
+    sim.processes.append(FaultInjector(net, sched))
+    traffic = SyntheticTraffic(net, UniformRandom(4), 0.2, seed=1)
+    sim.processes.append(traffic)
+    stats = PacketStats()
+    for t in net.terminals:
+        t.delivery_listeners.append(stats.on_delivery)
+    sim.run(300)
+    traffic.stop()
+    assert sim.drain(max_cycles=50_000)
+    assert net.routers[0].out_channels[0].min_gap == 4
+    assert stats.packets_delivered == traffic.packets_generated
+    assert topo.faults.events_applied == 1
+
+
+def test_revoke_unstarted_routes_direct():
+    base = HyperX((2, 2), 1)
+    topo = DegradedTopology(base)
+    net = Network(topo, make_algorithm("DimWAR", topo), SimConfig())
+    r = net.routers[0]
+    # A committed-but-unstarted route: head flit still first in the FIFO.
+    pkt = Packet(0, 3, size=2, create_cycle=0)
+    pkt.hops = 1
+    state = r.inputs[0].vcs[0]
+    state.fifo.append(Flit(pkt, 0))
+    state.fifo.append(Flit(pkt, 1))
+    state.route = VcRoute(1, 0, pkt.pid)
+    r.out_vc_owner[1][0] = pkt.pid
+
+    assert r.revoke_unstarted_routes({1}) == 1
+    assert state.route is None
+    assert r.out_vc_owner[1][0] is None
+    assert pkt.hops == 0  # telemetry un-counted
+    assert (0, 0) in r._active_in  # re-woken for rerouting
+
+    # A started wormhole (head flit already forwarded) must drain, not revoke.
+    pkt2 = Packet(0, 3, size=2, create_cycle=0)
+    pkt2.hops = 1
+    state2 = r.inputs[0].vcs[1]
+    state2.fifo.append(Flit(pkt2, 1))  # body flit at the FIFO head
+    state2.route = VcRoute(1, 1, pkt2.pid)
+    assert r.revoke_unstarted_routes({1}) == 0
+    assert state2.route is not None
+    assert pkt2.hops == 1
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+
+
+def test_fault_schedule_json_roundtrip(tmp_path):
+    sched = FaultSchedule(
+        [
+            FaultEvent(100, "link", 0, port=1),
+            FaultEvent(50, "router", 3),
+            FaultEvent(200, "degrade", 2, port=0, factor=8),
+        ]
+    )
+    path = tmp_path / "faults.json"
+    sched.save(str(path))
+    loaded = FaultSchedule.load(str(path))
+    assert loaded.sorted_events() == sched.sorted_events()
+    assert loaded.sorted_events()[0].cycle == 50
+    assert loaded.failed_router_ids() == {3}
+    # The file itself is plain JSON.
+    assert isinstance(json.loads(path.read_text()), (dict, list))
+
+
+def test_fault_schedule_from_faultset():
+    fset = FaultSet().fail_link(0, 0).fail_router(2)
+    sched = FaultSchedule.from_faultset(fset, cycle=500)
+    assert all(e.cycle == 500 for e in sched.sorted_events())
+    assert sched.failed_router_ids() == {2}
+
+
+def test_fault_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(10, "link", 0)  # link event needs a port
+    with pytest.raises(ValueError):
+        FaultEvent(10, "degrade", 0, port=1)  # degrade needs a factor
+    with pytest.raises(ValueError):
+        FaultEvent(10, "eclipse", 0)  # unknown kind
+
+
+def test_noroute_error_is_runtime_error():
+    assert issubclass(NoRouteError, RuntimeError)
