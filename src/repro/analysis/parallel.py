@@ -73,6 +73,12 @@ class PointSpec:
     cfg: SimConfig | None = None
     size_dist: "SizeDistribution | None" = None
     algorithm_kwargs: tuple[tuple[str, Any], ...] = field(default=())
+    #: declarative faults (LinkFault/RouterFault/DegradedLink, all frozen
+    #: and picklable); non-empty means the worker wraps the topology in a
+    #: DegradedTopology built from exactly these faults.
+    faults: tuple = ()
+    #: attach the repro.check runtime sanitizer inside the worker
+    check: bool = False
 
 
 def run_point(spec: PointSpec) -> "PointResult":
@@ -81,7 +87,12 @@ def run_point(spec: PointSpec) -> "PointResult":
     from ..traffic.patterns import pattern_by_name
     from .sweep import measure_point
 
-    topo = HyperX(tuple(spec.widths), spec.terminals_per_router)
+    topo: "Topology" = HyperX(tuple(spec.widths), spec.terminals_per_router)
+    if spec.faults:
+        from ..faults.degraded import DegradedTopology
+        from ..faults.model import FaultSet
+
+        topo = DegradedTopology(topo, FaultSet(list(spec.faults)))
     algorithm = make_algorithm(spec.algorithm, topo, **dict(spec.algorithm_kwargs))
     pattern = pattern_by_name(spec.pattern, topo)
     return measure_point(
@@ -93,6 +104,7 @@ def run_point(spec: PointSpec) -> "PointResult":
         cfg=spec.cfg,
         size_dist=spec.size_dist,
         seed=spec.seed,
+        check=spec.check,
     )
 
 
@@ -105,17 +117,38 @@ def point_specs(
     cfg: SimConfig | None = None,
     size_dist: "SizeDistribution | None" = None,
     seed: int = 1,
+    check: bool = False,
 ) -> list[PointSpec]:
     """Turn live sweep arguments into one spec per offered load.
 
     Raises ``ValueError`` when the arguments cannot be expressed as a
     picklable spec: non-HyperX topologies, algorithms not in the registry,
-    or patterns :func:`~repro.traffic.patterns.pattern_by_name` cannot
-    rebuild.  Those combinations still work on the serial path.
+    patterns :func:`~repro.traffic.patterns.pattern_by_name` cannot rebuild,
+    or a degraded topology whose live fault state has drifted from the
+    declarative FaultSet it was built from (a mid-run injector mutated it —
+    the spec would rebuild a different surviving graph).  Those
+    combinations still work on the serial path.
     """
     from ..core.registry import algorithm_names
+    from ..faults.degraded import DegradedTopology
     from ..traffic.patterns import pattern_by_name
 
+    faults: tuple = ()
+    if isinstance(topology, DegradedTopology):
+        if topology.faultset is None:
+            raise ValueError(
+                "parallel sweeps need the DegradedTopology's declarative "
+                "FaultSet; one built directly on a FaultState cannot be "
+                "reconstructed in a worker"
+            )
+        if topology.faults.epoch != topology.resolved_epoch:
+            raise ValueError(
+                "the DegradedTopology's fault state was mutated after "
+                "construction (mid-run injection?); its FaultSet no longer "
+                "describes the surviving graph, so workers cannot rebuild it"
+            )
+        faults = tuple(topology.faultset)
+        topology = topology.base
     if not isinstance(topology, HyperX):
         raise ValueError(
             "parallel sweeps reconstruct the topology in the worker and "
@@ -144,6 +177,8 @@ def point_specs(
             size_dist=size_dist,
             seed=seed,
             algorithm_kwargs=tuple(sorted(algo_kwargs.items())),
+            faults=faults,
+            check=check,
         )
         for rate in rates
     ]

@@ -139,6 +139,7 @@ def measure_point(
     size_dist: SizeDistribution | None = None,
     seed: int = 1,
     monitor: LatencyMonitor | None = None,
+    check: bool = False,
 ) -> PointResult:
     """Simulate one offered-load point and classify it stable/saturated.
 
@@ -146,12 +147,21 @@ def measure_point(
     sampled over packets *created* in the middle window [0.3T, 0.7T) (and
     delivered by the end); accepted throughput counts flits ejected in the
     second half of the run.
+
+    ``check`` attaches the :class:`repro.check.Sanitizer` for the whole run
+    (periodic invariant audits plus a final one); the measured numbers are
+    unchanged — the sanitizer only observes.
     """
     started = time.perf_counter()
     cfg = cfg or default_config()
     size_dist = size_dist or UniformSize(1, 16)
     net = Network(topology, algorithm, cfg)
     sim = Simulator(net)
+    sanitizer = None
+    if check:
+        from ..check.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer(sim).attach()
     traffic = SyntheticTraffic(net, pattern, rate, size_dist, seed=seed)
     sim.processes.append(traffic)
     stats = PacketStats()
@@ -165,6 +175,10 @@ def measure_point(
     sim.run(half)
     ejected_at_half = net.total_ejected_flits()
     sim.run(total_cycles - half)
+    if sanitizer is not None:
+        # Injection is still on, so the final audit is the lenient one.
+        sanitizer.final_check()
+        sanitizer.detach()
 
     span = total_cycles - half
     accepted = (net.total_ejected_flits() - ejected_at_half) / (

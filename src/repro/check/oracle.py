@@ -1,0 +1,201 @@
+"""Differential oracles: one spec, several execution paths, identical bytes.
+
+The simulator has independently-optimised execution paths that must not be
+able to change results: the parallel sweep engine (worker processes rebuild
+every object from a picklable spec), the per-router route cache (memoised
+candidate lists for stateless algorithms), and the fault layer's
+:class:`~repro.faults.degraded.DegradedTopology` wrapper (which, with an
+*empty* fault set, must be a pure pass-through).  Each oracle here replays
+an identical measurement through two such paths and compares the serialized
+results **byte for byte** — any divergence, however small, is a bug in one
+of the paths.
+
+The oracles return :class:`OracleReport` rather than raising, so the
+self-test can tabulate all of them; ``report.ok`` is the verdict and
+``report.detail`` pinpoints the first difference.
+
+Example::
+
+    >>> from repro.check.oracle import diff_cache_on_off
+    >>> diff_cache_on_off(widths=(2, 2), rates=(0.1,), total_cycles=300).ok
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..analysis.sweep import SweepResult, sweep_load
+from ..config import RouterConfig, SimConfig, default_config
+from ..core.registry import make_algorithm
+from ..faults.degraded import DegradedTopology
+from ..faults.model import FaultSet
+from ..topology.hyperx import HyperX
+from ..traffic.patterns import pattern_by_name
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential comparison."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {'OK' if self.ok else 'DIVERGED — ' + self.detail}"
+
+
+def _first_difference(a: str, b: str) -> str:
+    """Human-readable locator of the first divergence between two JSON blobs."""
+    if a == b:
+        return "identical"
+    da, db = json.loads(a), json.loads(b)
+    pa, pb = da.get("points", []), db.get("points", [])
+    if len(pa) != len(pb):
+        return f"point counts differ: {len(pa)} vs {len(pb)}"
+    for i, (x, y) in enumerate(zip(pa, pb)):
+        for key in x:
+            if x.get(key) != y.get(key):
+                return (
+                    f"point {i} field {key!r}: {x.get(key)!r} vs {y.get(key)!r}"
+                )
+    return "blobs differ outside the point data"
+
+
+def compare_sweeps(name: str, a: SweepResult, b: SweepResult) -> OracleReport:
+    """Byte-compare two sweep results (wall-clock excluded by ``to_json``)."""
+    ja, jb = a.to_json(), b.to_json()
+    return OracleReport(name, ja == jb, _first_difference(ja, jb))
+
+
+def _fresh(widths, terminals_per_router, algorithm, pattern, faults=None):
+    """Build a fresh topology/algorithm/pattern triple for one run.
+
+    Every oracle run gets its own objects: live algorithm/pattern state
+    (rngs, caches) must never be shared between the two paths under
+    comparison, or the comparison itself would perturb them.
+    """
+    topo = HyperX(tuple(widths), terminals_per_router)
+    if faults is not None:
+        topo = DegradedTopology(topo, faults)
+    algo = make_algorithm(algorithm, topo)
+    patt = pattern_by_name(pattern, topo)
+    return topo, algo, patt
+
+
+def diff_serial_parallel(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "DimWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+    workers: int = 2,
+    faults: FaultSet | None = None,
+) -> OracleReport:
+    """Serial in-process sweep vs the worker-pool spec path, byte-identical.
+
+    ``faults`` (a declarative :class:`~repro.faults.model.FaultSet`) runs the
+    comparison on a degraded topology — the workers must reconstruct the
+    same surviving graph from the pickled fault tuple.
+    """
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern, faults)
+    serial = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed
+    )
+    t2, a2, p2 = _fresh(widths, terminals_per_router, algorithm, pattern, faults)
+    parallel = sweep_load(
+        t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed,
+        workers=workers,
+    )
+    suffix = " (faulted)" if faults is not None else ""
+    return compare_sweeps(f"serial-vs-parallel{suffix}", serial, parallel)
+
+
+def diff_cache_on_off(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "DOR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+) -> OracleReport:
+    """Route cache enabled vs disabled, byte-identical.
+
+    The memoised candidate lists (``RouterConfig.route_cache``) are a pure
+    optimisation; this oracle is the proof.  Uses a cacheable algorithm —
+    one whose ``cache_key`` is non-None — or the comparison is vacuous.
+    """
+    cfg_on = default_config()
+    cfg_off = SimConfig(router=RouterConfig(route_cache=False)).validated()
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    on = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed, cfg=cfg_on
+    )
+    t2, a2, p2 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    off = sweep_load(
+        t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed, cfg=cfg_off
+    )
+    return compare_sweeps("cache-on-vs-off", on, off)
+
+
+def diff_pristine_empty_faultset(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "DimWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+) -> OracleReport:
+    """Pristine topology vs a DegradedTopology with an *empty* FaultSet.
+
+    The fault layer must be a pure pass-through when nothing is broken.
+    Uses DimWAR/OmniWAR-style algorithms whose VC-class count does not
+    change under a degraded wrapper — DOR grows a second (escape) class
+    when fault-aware, which legitimately changes the VC partitioning, so it
+    is the one algorithm this oracle must *not* use.
+    """
+    if algorithm == "DOR":
+        raise ValueError(
+            "DOR changes its VC-class count under a DegradedTopology; "
+            "use DimWAR or OmniWAR for the pristine-vs-empty oracle"
+        )
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    pristine = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed
+    )
+    t2, a2, p2 = _fresh(
+        widths, terminals_per_router, algorithm, pattern, faults=FaultSet()
+    )
+    empty = sweep_load(
+        t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed
+    )
+    return compare_sweeps("pristine-vs-empty-faultset", pristine, empty)
+
+
+def run_all_oracles(
+    widths=(4, 4),
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    workers: int = 2,
+) -> list[OracleReport]:
+    """Every differential oracle at one (small) problem size."""
+    faults = FaultSet().fail_link(0, 0)
+    return [
+        diff_serial_parallel(
+            widths=widths, rates=rates, total_cycles=total_cycles, workers=workers
+        ),
+        diff_serial_parallel(
+            widths=widths, rates=rates, total_cycles=total_cycles,
+            workers=workers, faults=faults,
+        ),
+        diff_cache_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
+        diff_pristine_empty_faultset(
+            widths=widths, rates=rates, total_cycles=total_cycles
+        ),
+    ]

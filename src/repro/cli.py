@@ -6,6 +6,7 @@ Commands
 ``stencil``   27-point stencil run per algorithm (Figure 8 style)
 ``figure``    regenerate a paper figure/table by name
 ``faults``    mid-run fault-injection transient (see docs/FAULTS.md)
+``check``     runtime-sanitizer self-test + differential oracles (docs/TESTING.md)
 ``list``      available algorithms, patterns, figures, and scales
 
 Examples::
@@ -16,6 +17,8 @@ Examples::
     python -m repro figure table1
     python -m repro faults --fail-links 3 --algorithms DimWAR OmniWAR
     python -m repro faults --schedule myfaults.json --scale small
+    python -m repro sweep --algorithm OmniWAR --check
+    python -m repro check
 """
 
 from __future__ import annotations
@@ -89,6 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan load points over N worker processes "
                    "(0 = all cores; default: serial)")
+    p.add_argument("--check", action="store_true",
+                   help="attach the runtime sanitizer to every point "
+                   "(invariant audits; see docs/TESTING.md)")
 
     p = sub.add_parser("stencil", help="27-point stencil run (Figure 8 style)")
     p.add_argument("--algorithms", nargs="+", default=list(PAPER_ALGORITHMS),
@@ -125,6 +131,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="JSON fault-schedule file (overrides the random "
                    "--fail-links/--fail-routers sample)")
     p.add_argument("--seed", type=int, default=4, help="traffic seed")
+    p.add_argument("--check", action="store_true",
+                   help="attach the runtime sanitizer for the whole "
+                   "transient, fault event and drain included")
+
+    p = sub.add_parser(
+        "check",
+        help="run the repro.check self-test: sanitized reference runs, "
+        "differential oracles, and the mutation canaries",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="skip the (slower) differential oracles")
 
     sub.add_parser("list", help="list algorithms, patterns, figures, scales")
     return parser
@@ -137,6 +154,7 @@ def _cmd_sweep(args) -> str:
     sweep = sweep_load(
         topo, algo, pattern, args.rates, total_cycles=args.cycles,
         seed=args.seed, workers=resolve_workers(args.workers),
+        check=args.check,
     )
     rows = [
         [
@@ -182,6 +200,7 @@ def _cmd_faults(args) -> str:
         fault_seed=args.fault_seed,
         seed=args.seed,
         schedule=schedule,
+        check=args.check,
     )
     return faults_experiment.render(results)
 
@@ -207,6 +226,10 @@ def main(argv: list[str] | None = None) -> int:
                                  resolve_workers(args.workers)))
     elif args.command == "faults":
         print(_cmd_faults(args))
+    elif args.command == "check":
+        from .check.selftest import run_selftest
+
+        return 0 if run_selftest(oracles=not args.quick) else 1
     elif args.command == "list":
         print(_cmd_list())
     return 0

@@ -35,6 +35,11 @@ class RouterConfig:
     #: Architecturally infeasible in high-radix routers — the paper (and our
     #: default) evaluates without it; enabling it is an ablation.
     sequential_allocation: bool = False
+    #: Memoise per-router candidate lists for stateless algorithms.  Purely
+    #: an optimisation — results must be identical either way, which the
+    #: repro.check differential oracle verifies by replaying runs with this
+    #: switched off.
+    route_cache: bool = True
 
 
 @dataclass

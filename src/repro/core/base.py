@@ -112,6 +112,11 @@ class RoutingAlgorithm:
     #: True when the algorithm masks failed ports from a
     #: ``repro.faults.DegradedTopology`` in :meth:`candidates`
     fault_aware: bool = False
+    #: True when deadlock freedom rests on distance classes — the VC class
+    #: must advance by exactly one per hop (``VC_out = VC_in + 1``, class 0
+    #: at injection).  Declared here so the repro.check sanitizer can verify
+    #: the rule mechanically on every hop without knowing the algorithm.
+    distance_classes: bool = False
 
     def __init__(self, topology: "Topology"):
         self.topology = topology

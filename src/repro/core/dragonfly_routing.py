@@ -22,6 +22,10 @@ from .base import RouteCandidate, RouteContext, RoutingAlgorithm
 
 
 class _DragonflyBase(RoutingAlgorithm):
+    # Every Dragonfly variant here uses strict distance classes
+    # (VC = hop index), so the sanitizer may verify the rule.
+    distance_classes = True
+
     def __init__(self, topology: Dragonfly):
         if not isinstance(topology, Dragonfly):
             raise TypeError(f"{type(self).__name__} requires a Dragonfly topology")

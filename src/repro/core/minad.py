@@ -21,6 +21,7 @@ class MinAdaptive(HyperXRouting):
     dimension_ordered = False
     deadlock_handling = "distance classes"
     packet_contents = "none"
+    distance_classes = True
 
     def __init__(self, topology):
         super().__init__(topology)

@@ -89,6 +89,7 @@ class RandomDimOrder(HyperXRouting):
     dimension_ordered = False
     deadlock_handling = "distance classes"
     packet_contents = "dim. order"
+    distance_classes = True
 
     def __init__(self, topology, seed: int = 29):
         super().__init__(topology)

@@ -49,6 +49,7 @@ class OmniWAR(HyperXRouting):
     deadlock_handling = "restricted routes & distance classes"
     packet_contents = "none"
     fault_aware = True
+    distance_classes = True
 
     def __init__(self, topology, deroutes: int | None = None,
                  restrict_back_to_back: bool = False):

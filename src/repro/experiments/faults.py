@@ -78,6 +78,7 @@ def run_fault_transient(
     seed: int = 4,
     schedule: FaultSchedule | None = None,
     topology=None,
+    check: bool = False,
 ) -> FaultTransientResult:
     """Run one algorithm through a mid-run fault injection.
 
@@ -89,6 +90,10 @@ def run_fault_transient(
     surviving routers — terminals of scheduled-to-fail routers are excluded
     from generation so the delivered fraction measures *routing*, not
     endpoint loss.
+
+    ``check`` attaches the :class:`repro.check.Sanitizer` for the whole run —
+    including the fault event and the drain, the paths the sanitizer's
+    credit-reconciliation and conservation checks were built to cover.
     """
     sc = get_scale(scale)
     base = topology if topology is not None else sc.topology()
@@ -98,6 +103,11 @@ def run_fault_transient(
         raise ValueError(f"{algorithm} is not fault-aware; see docs/FAULTS.md")
     net = Network(topo, algo, sc.sim_config())
     sim = Simulator(net)
+    sanitizer = None
+    if check:
+        from ..check.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer(sim).attach()
     fault_cycle = pre_windows * window
     total = (pre_windows + post_windows) * window
 
@@ -138,6 +148,14 @@ def run_fault_transient(
     except NoRouteError as e:
         routing_error = str(e)
         traffic.stop()
+    if sanitizer is not None:
+        # After a clean drain every credit must be home and every output VC
+        # released; after a NoRouteError the network holds stranded traffic,
+        # so only the always-true invariants are audited.
+        sanitizer.final_check(
+            require_quiescent=drained and routing_error is None
+        )
+        sanitizer.detach()
 
     series = TransientSeries(
         algorithm=algorithm, window=window, switch_cycle=fault_cycle

@@ -61,14 +61,26 @@ class DegradedTopology(Topology):
         if isinstance(base, DegradedTopology):
             raise TypeError("DegradedTopology cannot wrap another DegradedTopology")
         self.base = base
+        #: the declarative FaultSet this wrapper was built from (an empty one
+        #: when ``faults`` is None), or None when built directly on a live
+        #: FaultState.  The parallel sweep engine reconstructs the topology
+        #: in worker processes from this, so it is retained verbatim.
+        self.faultset: FaultSet | None
         if faults is None:
+            self.faultset = FaultSet()
             self.faults = FaultState(base)
         elif isinstance(faults, FaultSet):
+            self.faultset = faults
             self.faults = faults.resolve(base)
         elif isinstance(faults, FaultState):
+            self.faultset = None
             self.faults = faults
         else:
             raise TypeError(f"faults must be FaultSet/FaultState/None, got {faults!r}")
+        #: epoch right after resolution; if the live state's epoch moves past
+        #: this (mid-run injector mutations), ``faultset`` no longer
+        #: describes the current graph.
+        self.resolved_epoch = self.faults.epoch
         self.name = f"degraded-{base.name}"
         # min_hops BFS cache: source router -> distance list, valid for one epoch.
         self._hops_cache: dict[int, list[float]] = {}

@@ -304,18 +304,24 @@ class FaultSchedule:
     def load(cls, path: str) -> "FaultSchedule":
         with open(path) as f:
             data = json.load(f)
-        return cls(
-            [
-                FaultEvent(
-                    cycle=int(e["cycle"]),
-                    kind=e["kind"],
-                    router=int(e["router"]),
-                    port=None if e.get("port") is None else int(e["port"]),
-                    factor=None if e.get("factor") is None else int(e["factor"]),
+        events = []
+        for i, e in enumerate(data["events"]):
+            try:
+                events.append(
+                    FaultEvent(
+                        cycle=int(e["cycle"]),
+                        kind=e["kind"],
+                        router=int(e["router"]),
+                        port=None if e.get("port") is None else int(e["port"]),
+                        factor=None if e.get("factor") is None else int(e["factor"]),
+                    )
                 )
-                for e in data["events"]
-            ]
-        )
+            except (KeyError, TypeError, ValueError) as exc:
+                # Schedule files are hand-written; point at the exact event.
+                raise ValueError(
+                    f"{path}: invalid fault event #{i}: {exc}"
+                ) from exc
+        return cls(events)
 
 
 # ----------------------------------------------------------------------

@@ -114,3 +114,17 @@ class CreditTracker:
 
     def total_occupied(self) -> int:
         return self.occupied_total
+
+    def consistent(self) -> bool:
+        """True when the incremental total matches the per-VC counters and
+        every counter is within ``[0, depth]``.
+
+        Inspection hook for the runtime sanitizer (repro.check): the
+        incremental ``occupied_total`` is the quantity the routing hot path
+        trusts, so drift between it and the per-VC counters silently skews
+        every congestion estimate.
+        """
+        return (
+            all(0 <= c <= self.depth for c in self.credits)
+            and self.occupied_total == sum(self.depth - c for c in self.credits)
+        )

@@ -81,6 +81,15 @@ class Channel:
     def in_flight(self) -> int:
         return len(self._pipe)
 
+    def pending_payloads(self):
+        """The payloads currently in the pipeline, oldest first.
+
+        Inspection hook for the runtime sanitizer (repro.check): data
+        channels yield ``(vc, flit)`` tuples, credit channels bare VC ids.
+        The returned iterator must not outlive the current cycle.
+        """
+        return (item for _, item in self._pipe)
+
     @property
     def busy(self) -> bool:
         return bool(self._pipe)

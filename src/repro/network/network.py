@@ -9,12 +9,13 @@ routers, ``channel_latency_rt`` between a router and its terminals.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.vcmap import VcMap
-from .buffers import CreditTracker
+from .buffers import CreditTracker, InputUnit
 from .channel import Channel
 from .router import Router
 from .terminal import Terminal
@@ -23,6 +24,37 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..config import SimConfig
     from ..core.base import RoutingAlgorithm
     from ..topology.base import Topology
+
+
+@dataclass(frozen=True)
+class LinkRecord:
+    """One credit-flow-controlled hop, recorded at wiring time.
+
+    The record pairs everything a per-link audit needs: the upstream credit
+    tracker, the upstream staging queues that hold flits which have already
+    consumed a credit (``None`` for terminal injection, which has no
+    crossbar), the data and credit channels, and the downstream input unit
+    the credits account for.  ``repro.check``'s credit-reconciliation
+    sanitizer walks :attr:`Network.links` and asserts, per VC,
+
+        ``tracker.occupied(vc) == staged + data-in-flight +
+        downstream occupancy + credits-in-flight``
+
+    which is the exact statement of credit-based flow control.
+    """
+
+    kind: str  # "rr" (router->router), "inj" (terminal->router), "ej" (router->terminal)
+    src: tuple[int, int] | int  # (router, port), or terminal id for "inj"
+    dst: tuple[int, int] | int  # (router, port), or terminal id for "ej"
+    tracker: CreditTracker
+    staged: list | None  # upstream per-VC staging deques ("rr"/"ej" only)
+    data: Channel
+    credit: Channel
+    downstream: InputUnit
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind} {self.src}->{self.dst}"
 
 
 class Network:
@@ -74,6 +106,9 @@ class Network:
         for terminal in self.terminals:
             terminal._wake_registry = self._active_terminals
         self.channels: list[Channel] = []
+        #: wiring map, one :class:`LinkRecord` per credit-flow-controlled
+        #: hop; built once here, consumed by the repro.check sanitizer.
+        self.links: list[LinkRecord] = []
         self._wire()
 
     # ------------------------------------------------------------------
@@ -102,34 +137,49 @@ class Network:
                     data = self._channel(
                         lat_rr, b.make_flit_sink(rp.port), f"r{r}p{port}->r{rp.router}"
                     )
-                    a.attach_output(port, data, CreditTracker(num_vcs, depth))
+                    tracker = CreditTracker(num_vcs, depth)
+                    a.attach_output(port, data, tracker)
                     cred = self._channel(
                         lat_rr, a.make_credit_sink(port),
                         f"cr r{rp.router}->r{r}p{port}", limit_rate=False,
                     )
                     b.attach_credit_return(rp.port, cred)
+                    self.links.append(LinkRecord(
+                        "rr", (r, port), (rp.router, rp.port), tracker,
+                        a.staged[port], data, cred, b.inputs[rp.port],
+                    ))
                 elif peer.is_terminal:
                     t = self.terminals[peer.terminal]
                     # Terminal -> router (injection).
                     inj = self._channel(
                         lat_rt, a.make_flit_sink(port), f"t{t.terminal_id}->r{r}"
                     )
-                    t.attach_injection(inj, CreditTracker(num_vcs, depth))
+                    inj_tracker = CreditTracker(num_vcs, depth)
+                    t.attach_injection(inj, inj_tracker)
                     inj_cred = self._channel(
                         lat_rt, t.make_credit_sink(),
                         f"cr r{r}->t{t.terminal_id}", limit_rate=False,
                     )
                     a.attach_credit_return(port, inj_cred)
+                    self.links.append(LinkRecord(
+                        "inj", t.terminal_id, (r, port), inj_tracker,
+                        None, inj, inj_cred, a.inputs[port],
+                    ))
                     # Router -> terminal (ejection).
                     ej = self._channel(
                         lat_rt, t.make_flit_sink(), f"r{r}->t{t.terminal_id}"
                     )
-                    a.attach_output(port, ej, CreditTracker(num_vcs, depth))
+                    ej_tracker = CreditTracker(num_vcs, depth)
+                    a.attach_output(port, ej, ej_tracker)
                     ej_cred = self._channel(
                         lat_rt, a.make_credit_sink(port),
                         f"cr t{t.terminal_id}->r{r}", limit_rate=False,
                     )
                     t.attach_ejection_credit(ej_cred)
+                    self.links.append(LinkRecord(
+                        "ej", (r, port), t.terminal_id, ej_tracker,
+                        a.staged[port], ej, ej_cred, t.receive,
+                    ))
 
     # ------------------------------------------------------------------
     # Introspection used by tests and the measurement harness

@@ -135,9 +135,18 @@ class Router:
         # Memoised candidate lists for stateless algorithms (see
         # RoutingAlgorithm.cache_key).  Bounded so long paper-scale runs
         # cannot grow it without limit; on overflow new keys are simply not
-        # inserted (hits keep being served).
+        # inserted (hits keep being served).  A cap of 0 (cfg.router.
+        # route_cache = False) disables memoisation entirely — the
+        # differential oracle in repro.check replays runs cache-on vs
+        # cache-off and asserts identical results.
         self._route_cache: dict = {}
-        self._route_cache_cap = 8192
+        self._route_cache_cap = 8192 if rc.route_cache else 0
+
+        # Route observation hook (repro.check VC-legality sanitizer): when
+        # set, called as (cycle, router, in_port, in_vc, ctx, cand, out_vc)
+        # for every committed route.  One is-None test per routing decision
+        # when disabled — noise next to the candidate scoring above it.
+        self._route_hook = None
 
         # Simulator activity registry.  The owning Network replaces this with
         # its shared registry before wiring; standalone routers (unit tests)
@@ -403,6 +412,9 @@ class Router:
                 packet.port_trace = []
             packet.vc_trace.append(out_vc)
             packet.port_trace.append(cand.out_port)
+        hook = self._route_hook
+        if hook is not None:
+            hook(cycle, self, port, vc, ctx, cand, out_vc)
         return VcRoute(cand.out_port, out_vc, packet.pid, cand.deroute)
 
     def revoke_unstarted_routes(self, ports: set[int]) -> int:

@@ -23,6 +23,16 @@ notes).
 one frame with the activity sets bound to locals, instead of paying a method
 call and attribute re-resolution per cycle.  :meth:`Simulator.step` is just
 ``run(1)``.
+
+Hook points: anything callable with ``(cycle)`` can be registered as a
+*process* via :meth:`Simulator.add_process` — traffic generators, the
+application engine, the fault injector, and the runtime sanitizer
+(:class:`repro.check.Sanitizer`) all attach this way.  Processes run at the
+start of every compute phase, after channel deliveries have settled, which
+is a consistency point: every credit consume/restore and buffer push/pop
+pair has completed, so cross-component invariants (flit conservation,
+credit reconciliation) hold exactly.  An unregistered hook costs nothing —
+the run loop touches only the registered list.
 """
 
 from __future__ import annotations
@@ -42,6 +52,22 @@ class Simulator:
         #: callables invoked at the start of every compute phase with
         #: ``(cycle)``; traffic generators and the application engine hook here
         self.processes: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+
+    def add_process(self, proc: Callable[[int], None]) -> Callable[[int], None]:
+        """Register ``proc`` to run at the start of every compute phase.
+
+        This is the simulator's generic hook point (see the module
+        docstring for the consistency guarantees at the call site).
+        Returns ``proc`` so attach-and-keep reads naturally.
+        """
+        self.processes.append(proc)
+        return proc
+
+    def remove_process(self, proc: Callable[[int], None]) -> None:
+        """Unregister a process added with :meth:`add_process`."""
+        self.processes.remove(proc)
 
     # ------------------------------------------------------------------
 

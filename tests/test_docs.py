@@ -116,6 +116,8 @@ DOCTEST_MODULES = [
     "repro.faults.inject",
     "repro.analysis.parallel",
     "repro.network.telemetry",
+    "repro.check.sanitizer",
+    "repro.check.oracle",
 ]
 
 

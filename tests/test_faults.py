@@ -408,6 +408,54 @@ def test_fault_schedule_from_faultset():
     assert sched.failed_router_ids() == {2}
 
 
+def test_fault_schedule_roundtrip_edge_cases(tmp_path):
+    """Cycle 0, factor 1 (no-op degrade), and a huge factor all round-trip."""
+    sched = FaultSchedule(
+        [
+            FaultEvent(0, "link", 0, port=1),
+            FaultEvent(0, "degrade", 2, port=0, factor=1),
+            FaultEvent(10**9, "degrade", 3, port=2, factor=10**9),
+        ]
+    )
+    path = tmp_path / "edges.json"
+    sched.save(str(path))
+    loaded = FaultSchedule.load(str(path))
+    assert loaded.sorted_events() == sched.sorted_events()
+    assert loaded.sorted_events()[0].cycle == 0
+    assert loaded.sorted_events()[-1].factor == 10**9
+
+
+def test_fault_schedule_empty_roundtrip(tmp_path):
+    path = tmp_path / "empty.json"
+    FaultSchedule().save(str(path))
+    loaded = FaultSchedule.load(str(path))
+    assert loaded.events == []
+    assert loaded.sorted_events() == []
+    assert loaded.failed_router_ids() == set()
+
+
+def test_fault_schedule_load_rejects_negative_cycle(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(
+        '{"events": [{"cycle": -5, "kind": "link", "router": 0, "port": 1}]}'
+    )
+    with pytest.raises(ValueError, match="invalid fault event #0") as exc:
+        FaultSchedule.load(str(path))
+    # The error names the file and repeats the underlying constraint.
+    assert str(path) in str(exc.value)
+    assert ">= 0" in str(exc.value)
+
+
+def test_fault_schedule_load_rejects_malformed_event(tmp_path):
+    path = tmp_path / "bad2.json"
+    path.write_text(
+        '{"events": [{"cycle": 10, "kind": "link", "router": 0, "port": 1},'
+        ' {"cycle": 20, "kind": "degrade", "router": 1}]}'
+    )
+    with pytest.raises(ValueError, match="invalid fault event #1"):
+        FaultSchedule.load(str(path))
+
+
 def test_fault_event_validation():
     with pytest.raises(ValueError):
         FaultEvent(10, "link", 0)  # link event needs a port

@@ -1,0 +1,80 @@
+"""Property-based tests for the random fault samplers (Hypothesis).
+
+The samplers back every faulted experiment, so their contract is
+load-bearing: the draw must be deterministic per seed (replayable
+transients), exact in size (a "fail 3 links" run fails exactly 3), and —
+by default — connectivity-preserving, which is the precondition under
+which the adaptive algorithms must still deliver 100% of traffic.
+
+The Hypothesis profile is pinned in ``conftest.py`` (derandomized under
+``ci``, the default), so these generate the same examples on every run.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.model import (
+    LinkFault,
+    RouterFault,
+    _router_links,
+    _surviving_connected,
+    random_faults,
+    random_link_faults,
+)
+from repro.topology.hyperx import HyperX
+
+TOPO = HyperX((3, 3), 1)
+NUM_LINKS = len(_router_links(TOPO))  # 18 on a 3x3 HyperX
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(seed=seeds, k=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40)
+def test_link_faults_preserve_connectivity(seed, k):
+    fset = random_link_faults(TOPO, k, seed=seed)
+    assert _surviving_connected(TOPO, fset.resolve(TOPO))
+
+
+@given(seed=seeds, r=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25)
+def test_router_faults_preserve_connectivity(seed, r):
+    fset = random_faults(TOPO, routers=r, seed=seed)
+    state = fset.resolve(TOPO)
+    assert _surviving_connected(TOPO, state)
+    assert len(state.failed_routers) == r
+
+
+@given(seed=seeds, k=st.integers(min_value=0, max_value=NUM_LINKS),
+       r=st.integers(min_value=0, max_value=8))
+@settings(max_examples=40)
+def test_sampler_is_deterministic_per_seed(seed, k, r):
+    a = random_faults(TOPO, links=k, routers=r, seed=seed,
+                      require_connected=False)
+    b = random_faults(TOPO, links=k, routers=r, seed=seed,
+                      require_connected=False)
+    assert a.faults == b.faults
+
+
+@given(seed=seeds, k=st.integers(min_value=0, max_value=NUM_LINKS),
+       r=st.integers(min_value=0, max_value=8))
+@settings(max_examples=40)
+def test_sampler_draws_exactly_the_requested_faults(seed, k, r):
+    fset = random_faults(TOPO, links=k, routers=r, seed=seed,
+                         require_connected=False)
+    link_faults = [f for f in fset if isinstance(f, LinkFault)]
+    router_faults = [f for f in fset if isinstance(f, RouterFault)]
+    assert len(link_faults) == k
+    assert len(router_faults) == r
+    # distinct draws: no link or router named twice
+    assert len({(f.router, f.port) for f in link_faults}) == k
+    assert len({f.router for f in router_faults}) == r
+
+
+@given(seed=seeds)
+@settings(max_examples=10)
+def test_sampler_rejects_impossible_requests(seed):
+    with pytest.raises(ValueError, match="links"):
+        random_link_faults(TOPO, NUM_LINKS + 1, seed=seed)
+    with pytest.raises(ValueError, match="router"):
+        random_faults(TOPO, routers=TOPO.num_routers, seed=seed)

@@ -15,6 +15,8 @@ from repro.analysis.parallel import (
 )
 from repro.analysis.sweep import measure_point, sweep_load
 from repro.core.registry import make_algorithm
+from repro.faults.degraded import DegradedTopology
+from repro.faults.model import FaultSet, random_link_faults
 from repro.topology.hyperx import HyperX
 from repro.topology.torus import Torus
 from repro.traffic.patterns import BitComplement, UniformRandom
@@ -131,6 +133,70 @@ def test_sweep_progress_reporter_lines():
     run_points(specs, workers=1, progress=reporter)
     assert len(lines) == 1
     assert "point 1/1" in lines[0] and "rate=0.200" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# Faulted sweeps: declarative FaultSets round-trip into worker processes
+# ---------------------------------------------------------------------------
+
+
+def _faulted_sweep(workers, check=False):
+    base = HyperX((4, 4), 1)
+    topo = DegradedTopology(base, random_link_faults(base, 3, seed=7))
+    algo = make_algorithm("DimWAR", topo)
+    pattern = UniformRandom(topo.num_terminals)
+    return sweep_load(
+        topo, algo, pattern, rates=[0.1, 0.2, 0.3],
+        total_cycles=1000, seed=3, workers=workers, check=check,
+    )
+
+
+def test_faulted_sweep_serial_vs_workers_4_byte_identical():
+    serial = _faulted_sweep(workers=None)
+    parallel = _faulted_sweep(workers=4)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_faulted_spec_round_trip_matches_live_objects():
+    base = HyperX((3, 3), 1)
+    fset = FaultSet().fail_link(0, 0).fail_link(4, 1)
+    topo = DegradedTopology(base, fset)
+    algo = make_algorithm("OmniWAR", topo)
+    pattern = UniformRandom(topo.num_terminals)
+    direct = measure_point(topo, algo, pattern, 0.2, total_cycles=800, seed=3)
+    (spec,) = point_specs(topo, algo, pattern, [0.2], total_cycles=800, seed=3)
+    assert spec.faults == tuple(fset)
+    assert spec.widths == (3, 3)  # unwrapped to the pristine base
+    via_spec = run_point(spec)
+    assert via_spec.mean_latency == direct.mean_latency
+    assert via_spec.packets_delivered == direct.packets_delivered
+
+
+def test_point_specs_rejects_faultstate_built_topology():
+    base = HyperX((3, 3), 1)
+    state = FaultSet().fail_link(0, 0).resolve(base)
+    topo = DegradedTopology(base, state)
+    algo = make_algorithm("DimWAR", topo)
+    with pytest.raises(ValueError, match="FaultState"):
+        point_specs(topo, algo, UniformRandom(topo.num_terminals), [0.2])
+
+
+def test_point_specs_rejects_epoch_drifted_topology():
+    base = HyperX((3, 3), 1)
+    topo = DegradedTopology(base, FaultSet().fail_link(0, 0))
+    algo = make_algorithm("DimWAR", topo)
+    topo.faults.fail_link(4, 1)  # mid-run injector mutation
+    with pytest.raises(ValueError, match="mutated"):
+        point_specs(topo, algo, UniformRandom(topo.num_terminals), [0.2])
+
+
+def test_point_specs_carry_check_flag():
+    topo, pat = _setup()
+    algo = make_algorithm("DimWAR", topo)
+    specs = point_specs(topo, algo, pat, [0.1, 0.2], check=True)
+    assert all(s.check for s in specs)
+    default = point_specs(topo, algo, pat, [0.1])
+    assert not default[0].check
 
 
 def test_sweep_rejects_custom_monitor_with_workers():
