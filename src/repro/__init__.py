@@ -15,6 +15,9 @@ The package provides:
 * :mod:`repro.cost` — the cabling-cost model of Figure 3;
 * :mod:`repro.faults` — link/router fault injection and degraded-topology
   adaptive routing (see ``docs/FAULTS.md``);
+* :mod:`repro.obs` — flit-level lifecycle tracing, windowed time-series
+  sampling, trace exporters, and phase profiling (see
+  ``docs/OBSERVABILITY.md``);
 * :mod:`repro.experiments` — one driver per paper figure/table.
 
 Quickstart::

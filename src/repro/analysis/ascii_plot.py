@@ -65,6 +65,51 @@ def ascii_plot(
     return "\n".join(lines)
 
 
+#: Heatmap intensity ramp, lightest to darkest.
+SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    rows: Sequence[Sequence[float]],
+    row_labels: Sequence[str] | None = None,
+    title: str = "",
+    x_label: str = "",
+    vmax: float | None = None,
+) -> str:
+    """Render a matrix as a character heatmap (one cell per value).
+
+    Rows are scaled against a shared maximum (``vmax`` or the matrix max),
+    mapping linearly onto :data:`SHADES`.  Used by ``repro.obs`` for
+    VC/router occupancy over time windows; rows are e.g. routers and
+    columns time windows.
+    """
+    if not rows or not any(len(r) for r in rows):
+        raise ValueError("heatmap needs at least one non-empty row")
+    if row_labels is not None and len(row_labels) != len(rows):
+        raise ValueError("row_labels must match the number of rows")
+    peak = vmax if vmax is not None else max(max(r, default=0.0) for r in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max((len(l) for l in row_labels), default=0) if row_labels else 0
+    lines = []
+    if title:
+        lines.append(title)
+    top = len(SHADES) - 1
+    for i, row in enumerate(rows):
+        cells = "".join(
+            SHADES[min(top, int(min(1.0, max(0.0, v / peak)) * top))] for v in row
+        )
+        label = (row_labels[i] if row_labels else "").rjust(label_w)
+        lines.append(f"{label} |{cells}|")
+    if x_label:
+        lines.append(" " * (label_w + 2) + x_label)
+    lines.append(
+        " " * (label_w + 2)
+        + f"scale: ' '=0 … '{SHADES[-1]}'={peak:g}"
+    )
+    return "\n".join(lines)
+
+
 def plot_sweeps(sweeps, width: int = 64, height: int = 16) -> str:
     """Plot a dict of ``name -> SweepResult`` as load-vs-latency curves,
     using only each sweep's stable points (as the paper's figures do)."""

@@ -45,6 +45,7 @@ from ..topology.hyperx import HyperX
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.base import RoutingAlgorithm
+    from ..obs import TraceOptions
     from ..topology.base import Topology
     from ..traffic.base import TrafficPattern
     from ..traffic.sizes import SizeDistribution
@@ -79,6 +80,10 @@ class PointSpec:
     faults: tuple = ()
     #: attach the repro.check runtime sanitizer inside the worker
     check: bool = False
+    #: attach the repro.obs lifecycle tracer inside the worker (TraceOptions
+    #: is a frozen dataclass of primitives, so the spec stays picklable);
+    #: per-point artifacts land under trace.out_dir with deterministic names
+    trace: "TraceOptions | None" = None
 
 
 def run_point(spec: PointSpec) -> "PointResult":
@@ -105,6 +110,7 @@ def run_point(spec: PointSpec) -> "PointResult":
         size_dist=spec.size_dist,
         seed=spec.seed,
         check=spec.check,
+        trace=spec.trace,
     )
 
 
@@ -118,6 +124,7 @@ def point_specs(
     size_dist: "SizeDistribution | None" = None,
     seed: int = 1,
     check: bool = False,
+    trace: "TraceOptions | None" = None,
 ) -> list[PointSpec]:
     """Turn live sweep arguments into one spec per offered load.
 
@@ -179,6 +186,7 @@ def point_specs(
             algorithm_kwargs=tuple(sorted(algo_kwargs.items())),
             faults=faults,
             check=check,
+            trace=trace,
         )
         for rate in rates
     ]

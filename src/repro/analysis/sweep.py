@@ -26,6 +26,7 @@ from ..traffic.sizes import SizeDistribution, UniformSize
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.base import RoutingAlgorithm
+    from ..obs import TraceOptions
     from ..topology.base import Topology
     from ..traffic.base import TrafficPattern
 
@@ -140,6 +141,7 @@ def measure_point(
     seed: int = 1,
     monitor: LatencyMonitor | None = None,
     check: bool = False,
+    trace: "TraceOptions | None" = None,
 ) -> PointResult:
     """Simulate one offered-load point and classify it stable/saturated.
 
@@ -151,6 +153,15 @@ def measure_point(
     ``check`` attaches the :class:`repro.check.Sanitizer` for the whole run
     (periodic invariant audits plus a final one); the measured numbers are
     unchanged — the sanitizer only observes.
+
+    ``trace`` (a :class:`repro.obs.TraceOptions`) attaches the lifecycle
+    :class:`~repro.obs.Tracer` — plus a
+    :class:`~repro.obs.TimeSeriesSampler` when ``trace.window`` > 0 — for
+    the whole run.  Like the sanitizer, tracing only observes: the returned
+    point is byte-identical with tracing on or off (enforced by
+    ``repro.check.oracle.diff_trace_on_off``).  With ``trace.out_dir`` set,
+    the trace is exported there as JSONL (and Chrome trace JSON when
+    ``trace.chrome``) under a deterministic per-point name.
     """
     started = time.perf_counter()
     cfg = cfg or default_config()
@@ -162,6 +173,13 @@ def measure_point(
         from ..check.sanitizer import Sanitizer
 
         sanitizer = Sanitizer(sim).attach()
+    tracer = sampler = None
+    if trace is not None:
+        from ..obs import TimeSeriesSampler, Tracer
+
+        tracer = Tracer(sim, trace).attach()
+        if trace.window:
+            sampler = TimeSeriesSampler(sim, window=trace.window).attach()
     traffic = SyntheticTraffic(net, pattern, rate, size_dist, seed=seed)
     sim.processes.append(traffic)
     stats = PacketStats()
@@ -179,6 +197,16 @@ def measure_point(
         # Injection is still on, so the final audit is the lenient one.
         sanitizer.final_check()
         sanitizer.detach()
+    if tracer is not None:
+        if sampler is not None:
+            sampler.finalize(sim.cycle)
+            sampler.detach()
+        tracer.detach()
+        if trace.out_dir:
+            from ..obs.export import write_point_trace
+
+            stem = f"trace_{algorithm.name}_{pattern.name}_r{rate:.4f}"
+            write_point_trace(tracer, sampler, trace.out_dir, stem)
 
     span = total_cycles - half
     accepted = (net.total_ejected_flits() - ejected_at_half) / (

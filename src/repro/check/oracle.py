@@ -178,6 +178,39 @@ def diff_pristine_empty_faultset(
     return compare_sweeps("pristine-vs-empty-faultset", pristine, empty)
 
 
+def diff_trace_on_off(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "DimWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+) -> OracleReport:
+    """Lifecycle tracing attached vs absent, byte-identical sweep JSON.
+
+    The :class:`repro.obs.Tracer` (and the windowed
+    :class:`~repro.obs.TimeSeriesSampler`) must be pure observers: they
+    read scored candidates the router already computed, never re-invoke
+    ``candidates()`` or scoring, and never touch the jitter stream — so a
+    traced sweep must measure exactly what an untraced one does.  Tracing
+    runs at full sampling (``sample_every=1``) with the time-series sampler
+    on, the most intrusive configuration.
+    """
+    from ..obs import TraceOptions
+
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    off = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed
+    )
+    t2, a2, p2 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    on = sweep_load(
+        t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed,
+        trace=TraceOptions(sample_every=1, window=max(1, total_cycles // 8)),
+    )
+    return compare_sweeps("trace-on-vs-off", off, on)
+
+
 def run_all_oracles(
     widths=(4, 4),
     rates=(0.1, 0.3),
@@ -198,4 +231,5 @@ def run_all_oracles(
         diff_pristine_empty_faultset(
             widths=widths, rates=rates, total_cycles=total_cycles
         ),
+        diff_trace_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
     ]

@@ -161,11 +161,7 @@ class Sanitizer:
             # Bind once so detach() can recognise its own hook by identity.
             self._hook = self._on_route
             for r in self.network.routers:
-                if r._route_hook is not None:
-                    raise RuntimeError(
-                        f"router {r.router_id} already has a route hook"
-                    )
-                r._route_hook = self._hook
+                r.add_route_hook(self._hook)
         self._attached = True
         self._next_audit = self.sim.cycle
         return self
@@ -177,8 +173,8 @@ class Sanitizer:
         self.sim.remove_process(self)
         if self.check_vc_legality:
             for r in self.network.routers:
-                if r._route_hook is self._hook:
-                    r._route_hook = None
+                if self._hook in r._route_hooks:
+                    r.remove_route_hook(self._hook)
             self._hook = None
         self._attached = False
 
@@ -416,7 +412,7 @@ class Sanitizer:
 
     # -- VC-class legality (router route hook) -------------------------
 
-    def _on_route(self, cycle, router, port, vc, ctx, cand, out_vc) -> None:
+    def _on_route(self, cycle, router, port, vc, ctx, cand, out_vc, scored=None) -> None:
         self.routes_checked += 1
         vc_map = self.network.vc_map
         out_class = vc_map.class_of(out_vc)

@@ -6,8 +6,13 @@ Commands
 ``stencil``   27-point stencil run per algorithm (Figure 8 style)
 ``figure``    regenerate a paper figure/table by name
 ``faults``    mid-run fault-injection transient (see docs/FAULTS.md)
+``trace``     flit/packet lifecycle tracing + time series (docs/OBSERVABILITY.md)
 ``check``     runtime-sanitizer self-test + differential oracles (docs/TESTING.md)
 ``list``      available algorithms, patterns, figures, and scales
+
+Every subcommand reports bad flag combinations (and unreadable input
+files) through the argparse error path: a usage line plus the message on
+stderr, exit code 2 — never a raw traceback.
 
 Examples::
 
@@ -18,6 +23,8 @@ Examples::
     python -m repro faults --fail-links 3 --algorithms DimWAR OmniWAR
     python -m repro faults --schedule myfaults.json --scale small
     python -m repro sweep --algorithm OmniWAR --check
+    python -m repro trace --algorithm OmniWAR --rate 0.3 --window 200 --heatmap vc
+    python -m repro trace --golden DimWAR --jsonl /tmp/dimwar.jsonl
     python -m repro check
 """
 
@@ -136,6 +143,42 @@ def _build_parser() -> argparse.ArgumentParser:
                    "transient, fault event and drain included")
 
     p = sub.add_parser(
+        "trace",
+        help="record a flit/packet lifecycle trace (docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("--algorithm", default="DimWAR", choices=algorithm_names())
+    p.add_argument("--pattern", default="UR",
+                   choices=["UR", "BC", "URBx", "URBy", "URBz", "S2", "DCR"])
+    p.add_argument("--widths", type=int, nargs="+", default=[4, 4])
+    p.add_argument("--terminals", type=int, default=1)
+    p.add_argument("--rate", type=float, default=0.3,
+                   help="offered load in flits/cycle/terminal")
+    p.add_argument("--cycles", type=int, default=400)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sample-every", type=int, default=1, metavar="N",
+                   help="trace every Nth injected packet (default: all)")
+    p.add_argument("--start", type=int, default=0,
+                   help="first cycle to record events in")
+    p.add_argument("--end", type=int, default=None,
+                   help="record events before this cycle only")
+    p.add_argument("--capacity", type=int, default=1 << 16,
+                   help="ring-buffer capacity (oldest events drop beyond it)")
+    p.add_argument("--window", type=int, default=0, metavar="CYCLES",
+                   help="also sample windowed time series at this window size")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="write the event stream as JSON lines")
+    p.add_argument("--chrome", default=None, metavar="FILE",
+                   help="write Chrome trace-event JSON "
+                   "(chrome://tracing / ui.perfetto.dev)")
+    p.add_argument("--heatmap", default=None, choices=["router", "vc"],
+                   help="print an ASCII occupancy heatmap (needs --window)")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute wall-clock time to simulator phases")
+    p.add_argument("--golden", default=None, metavar="ALGO",
+                   help="run the pinned golden-trace scenario for ALGO "
+                   "instead of the flags above (tests/golden corpus)")
+
+    p = sub.add_parser(
         "check",
         help="run the repro.check self-test: sanitized reference runs, "
         "differential oracles, and the mutation canaries",
@@ -205,6 +248,95 @@ def _cmd_faults(args) -> str:
     return faults_experiment.render(results)
 
 
+def _cmd_trace(args) -> str:
+    from .obs import (
+        PhaseProfiler,
+        TimeSeriesSampler,
+        TraceOptions,
+        Tracer,
+        occupancy_heatmap,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    prof = None
+    if args.golden is not None:
+        if args.profile:
+            raise ValueError("--profile does not apply to --golden runs")
+        if args.window or args.heatmap:
+            raise ValueError(
+                "--window/--heatmap do not apply to --golden runs (the "
+                "pinned scenario records lifecycle events only)"
+            )
+        from .obs.golden import golden_tracer
+
+        tracer = golden_tracer(args.golden)
+        sampler = None
+        label = f"golden scenario {args.golden} (see repro.obs.golden)"
+    else:
+        if args.heatmap and not args.window:
+            raise ValueError("--heatmap needs the time-series sampler (--window N)")
+        from .config import default_config
+        from .network.network import Network
+        from .network.simulator import Simulator
+        from .traffic.injection import SyntheticTraffic
+
+        opts = TraceOptions(
+            sample_every=args.sample_every, start=args.start, end=args.end,
+            capacity=args.capacity, window=args.window,
+        )
+        topo = HyperX(tuple(args.widths), args.terminals)
+        algo = make_algorithm(args.algorithm, topo)
+        pattern = pattern_by_name(args.pattern, topo)
+        net = Network(topo, algo, default_config())
+        sim = Simulator(net)
+        sim.add_process(SyntheticTraffic(net, pattern, args.rate, seed=args.seed))
+        tracer = Tracer(sim, opts).attach()
+        sampler = (
+            TimeSeriesSampler(sim, window=args.window).attach()
+            if args.window else None
+        )
+        if args.profile:
+            prof = PhaseProfiler(sim)
+            prof.run(args.cycles)
+        else:
+            sim.run(args.cycles)
+        if sampler is not None:
+            sampler.finalize(sim.cycle)
+            sampler.detach()
+        tracer.detach()
+        label = (
+            f"{args.algorithm} on {args.pattern}, HyperX {tuple(args.widths)} "
+            f"T={args.terminals} rate={args.rate} over {args.cycles} cycles"
+        )
+    ring = tracer.ring
+    counts = ring.counts()
+    out = [
+        f"trace: {label}",
+        f"events: recorded={ring.recorded} retained={len(ring)} "
+        f"dropped={ring.dropped} packets_sampled={tracer.packets_sampled}",
+        "  " + "  ".join(f"{t}={n}" for t, n in counts.items()),
+    ]
+    if args.jsonl:
+        out.append(f"wrote {write_jsonl(tracer.events(), args.jsonl)}")
+    if args.chrome:
+        path = write_chrome_trace(
+            tracer.events(), args.chrome,
+            sampler.samples if sampler is not None else None,
+        )
+        out.append(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    if sampler is not None:
+        out.append("")
+        out.append(sampler.format_table())
+        if args.heatmap:
+            out.append("")
+            out.append(occupancy_heatmap(sampler.samples, args.heatmap))
+    if prof is not None:
+        out.append("")
+        out.append(prof.format_report())
+    return "\n".join(out)
+
+
 def _cmd_list() -> str:
     lines = [
         "algorithms : " + ", ".join(algorithm_names()),
@@ -216,22 +348,31 @@ def _cmd_list() -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command == "sweep":
-        print(_cmd_sweep(args))
-    elif args.command == "stencil":
-        print(_cmd_stencil(args))
-    elif args.command == "figure":
-        print(FIGURES[args.name](get_scale(args.scale),
-                                 resolve_workers(args.workers)))
-    elif args.command == "faults":
-        print(_cmd_faults(args))
-    elif args.command == "check":
-        from .check.selftest import run_selftest
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "sweep":
+            print(_cmd_sweep(args))
+        elif args.command == "stencil":
+            print(_cmd_stencil(args))
+        elif args.command == "figure":
+            print(FIGURES[args.name](get_scale(args.scale),
+                                     resolve_workers(args.workers)))
+        elif args.command == "faults":
+            print(_cmd_faults(args))
+        elif args.command == "trace":
+            print(_cmd_trace(args))
+        elif args.command == "check":
+            from .check.selftest import run_selftest
 
-        return 0 if run_selftest(oracles=not args.quick) else 1
-    elif args.command == "list":
-        print(_cmd_list())
+            return 0 if run_selftest(oracles=not args.quick) else 1
+        elif args.command == "list":
+            print(_cmd_list())
+    except (ValueError, OSError) as e:
+        # One error path for every subcommand: bad flag combinations and
+        # unreadable input files become argparse usage errors (message on
+        # stderr, exit code 2), never raw tracebacks.
+        parser.error(f"{args.command}: {e}")
     return 0
 
 

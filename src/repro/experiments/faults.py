@@ -21,6 +21,7 @@ for the worked example and EXPERIMENTS.md for measured numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..analysis.report import format_table
 from ..core.base import NoRouteError
@@ -36,6 +37,9 @@ from ..traffic.injection import SyntheticTraffic
 from ..traffic.patterns import UniformRandom, UniformRandomSubset
 from .common import Scale, get_scale
 from .transient import TransientSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import TraceOptions
 
 
 @dataclass
@@ -79,6 +83,7 @@ def run_fault_transient(
     schedule: FaultSchedule | None = None,
     topology=None,
     check: bool = False,
+    trace: "TraceOptions | None" = None,
 ) -> FaultTransientResult:
     """Run one algorithm through a mid-run fault injection.
 
@@ -94,6 +99,13 @@ def run_fault_transient(
     ``check`` attaches the :class:`repro.check.Sanitizer` for the whole run —
     including the fault event and the drain, the paths the sanitizer's
     credit-reconciliation and conservation checks were built to cover.
+
+    ``trace`` (a :class:`repro.obs.TraceOptions`) attaches the lifecycle
+    tracer across the fault event and the drain — the degraded-mode
+    transient is exactly where per-packet visibility matters.  With
+    ``trace.out_dir`` set the stream is exported as
+    ``trace_fault_<algorithm>_<scale>.jsonl`` (plus Chrome trace JSON when
+    ``trace.chrome``).
     """
     sc = get_scale(scale)
     base = topology if topology is not None else sc.topology()
@@ -108,6 +120,13 @@ def run_fault_transient(
         from ..check.sanitizer import Sanitizer
 
         sanitizer = Sanitizer(sim).attach()
+    tracer = sampler = None
+    if trace is not None:
+        from ..obs import TimeSeriesSampler, Tracer
+
+        tracer = Tracer(sim, trace).attach()
+        if trace.window:
+            sampler = TimeSeriesSampler(sim, window=trace.window).attach()
     fault_cycle = pre_windows * window
     total = (pre_windows + post_windows) * window
 
@@ -156,6 +175,16 @@ def run_fault_transient(
             require_quiescent=drained and routing_error is None
         )
         sanitizer.detach()
+    if tracer is not None:
+        if sampler is not None:
+            sampler.finalize(sim.cycle)
+            sampler.detach()
+        tracer.detach()
+        if trace.out_dir:
+            from ..obs.export import write_point_trace
+
+            stem = f"trace_fault_{algorithm}_{sc.name}"
+            write_point_trace(tracer, sampler, trace.out_dir, stem)
 
     series = TransientSeries(
         algorithm=algorithm, window=window, switch_cycle=fault_cycle

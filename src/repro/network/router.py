@@ -41,6 +41,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..topology.base import Topology
 
 
+def _hook_fanout(hooks: list):
+    """Collapse a hook list into the single-slot fast-path representation:
+    None when empty, the hook itself when alone, a dispatch closure else."""
+    if not hooks:
+        return None
+    if len(hooks) == 1:
+        return hooks[0]
+    frozen = tuple(hooks)
+
+    def dispatch(*args):
+        for h in frozen:
+            h(*args)
+
+    return dispatch
+
+
 class Router:
     """One router of the simulated network."""
 
@@ -142,11 +158,21 @@ class Router:
         self._route_cache: dict = {}
         self._route_cache_cap = 8192 if rc.route_cache else 0
 
-        # Route observation hook (repro.check VC-legality sanitizer): when
-        # set, called as (cycle, router, in_port, in_vc, ctx, cand, out_vc)
-        # for every committed route.  One is-None test per routing decision
-        # when disabled — noise next to the candidate scoring above it.
+        # Route observation hooks (repro.check VC-legality sanitizer,
+        # repro.obs tracer): registered via add_route_hook(), called as
+        # (cycle, router, in_port, in_vc, ctx, cand, out_vc, scored) for
+        # every committed route, where ``scored`` lists every candidate
+        # considered as (cand, out_vc_or_None, weight_or_None).  The fast
+        # path keeps a single slot: None when no hooks, the sole hook when
+        # one, a fan-out closure otherwise — one is-None test per routing
+        # decision when disabled.
         self._route_hook = None
+        self._route_hooks: list = []
+        # Switch-allocation observation hook: fired from _try_forward as
+        # (cycle, router, in_port, in_vc, out_port, out_vc, flit) every time
+        # a flit crosses the crossbar into the staged output queue.
+        self._forward_hook = None
+        self._forward_hooks: list = []
 
         # Simulator activity registry.  The owning Network replaces this with
         # its shared registry before wiring; standalone routers (unit tests)
@@ -163,6 +189,43 @@ class Router:
 
     def attach_credit_return(self, port: int, channel: Channel) -> None:
         self._credit_return[port] = channel
+
+    # ------------------------------------------------------------------
+    # Observation hooks (repro.check sanitizer, repro.obs tracer)
+    # ------------------------------------------------------------------
+
+    def add_route_hook(self, hook) -> None:
+        """Register a route-observation hook.
+
+        Hooks are called after every committed route decision as
+        ``hook(cycle, router, in_port, in_vc, ctx, cand, out_vc, scored)``
+        in registration order.  Registering the same hook twice (bound
+        methods compare by ``__self__`` and ``__func__``, so a re-bound
+        method of the same object still counts) is an error — it is the
+        detach-residue bug class this API exists to prevent.
+        """
+        if hook in self._route_hooks:
+            raise ValueError(f"route hook {hook!r} already registered")
+        self._route_hooks.append(hook)
+        self._route_hook = _hook_fanout(self._route_hooks)
+
+    def remove_route_hook(self, hook) -> None:
+        """Unregister a hook added by :meth:`add_route_hook`."""
+        self._route_hooks.remove(hook)
+        self._route_hook = _hook_fanout(self._route_hooks)
+
+    def add_forward_hook(self, hook) -> None:
+        """Register a switch-allocation hook, fired per forwarded flit as
+        ``hook(cycle, router, in_port, in_vc, out_port, out_vc, flit)``."""
+        if hook in self._forward_hooks:
+            raise ValueError(f"forward hook {hook!r} already registered")
+        self._forward_hooks.append(hook)
+        self._forward_hook = _hook_fanout(self._forward_hooks)
+
+    def remove_forward_hook(self, hook) -> None:
+        """Unregister a hook added by :meth:`add_forward_hook`."""
+        self._forward_hooks.remove(hook)
+        self._forward_hook = _hook_fanout(self._forward_hooks)
 
     # ------------------------------------------------------------------
     # Channel sinks
@@ -289,6 +352,9 @@ class Router:
         cr = self._credit_return[port]
         if cr is not None:
             cr.push(cycle, vc)
+        hook = self._forward_hook
+        if hook is not None:
+            hook(cycle, self, port, vc, out_port, out_vc, flit)
         if flit.index == flit.packet.size - 1:  # tail flit
             self.out_vc_owner[out_port][out_vc] = None
             state.route = None
@@ -374,12 +440,19 @@ class Router:
         port_scope = self._port_scope
         jitter = self._jitter
         jidx = self._jitter_idx
+        hook = self._route_hook
+        # Candidate record for observers, built only when a hook is attached
+        # so the tracer never re-runs candidates()/scoring (which would
+        # perturb fault counters and the jitter stream).
+        scored: list | None = [] if hook is not None else None
         best_cand: RouteCandidate | None = None
         best_out_vc = -1
         best_w = best_j = 0.0
         for cand in cands:
             out_vc = self._allocate_vc(cand.out_port, cand.vc_class, packet.pid)
             if out_vc is None:
+                if scored is not None:
+                    scored.append((cand, None, None))
                 continue
             if port_scope:
                 congestion = self.port_congestion(cand.out_port)
@@ -388,6 +461,8 @@ class Router:
             w = route_weight(congestion, cand.hops)
             j = jitter[jidx]
             jidx = (jidx + 1) & 4095
+            if scored is not None:
+                scored.append((cand, out_vc, w))
             if best_cand is None or w < best_w or (w == best_w and j < best_j):
                 best_cand = cand
                 best_out_vc = out_vc
@@ -412,9 +487,8 @@ class Router:
                 packet.port_trace = []
             packet.vc_trace.append(out_vc)
             packet.port_trace.append(cand.out_port)
-        hook = self._route_hook
         if hook is not None:
-            hook(cycle, self, port, vc, ctx, cand, out_vc)
+            hook(cycle, self, port, vc, ctx, cand, out_vc, scored)
         return VcRoute(cand.out_port, out_vc, packet.pid, cand.deroute)
 
     def revoke_unstarted_routes(self, ports: set[int]) -> int:

@@ -63,6 +63,9 @@ class Terminal:
         self.flits_ejected = 0
         self.packets_delivered = 0
         self.delivery_listeners: list[Callable[[Packet, int], None]] = []
+        # Called as listener(packet, cycle) when a packet starts injecting
+        # (its head flit enters the terminal channel this same cycle).
+        self.inject_listeners: list[Callable[[Packet, int], None]] = []
         # Reassembly integrity: per-packet next expected flit index.  VC flow
         # control guarantees in-order per-packet delivery; this check turns a
         # violation (a simulator bug) into an immediate error.
@@ -156,6 +159,9 @@ class Terminal:
             self._active_flits = deque(packet.flits())
             self._active_vc = vc
             packet.inject_cycle = cycle
+            if self.inject_listeners:
+                for listener in self.inject_listeners:
+                    listener(packet, cycle)
         vc = self._active_vc
         if self.inject_credits.available(vc) <= 0:
             return

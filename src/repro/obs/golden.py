@@ -1,0 +1,77 @@
+"""Canonical golden-trace runs: tiny pinned scenarios for regression tests.
+
+A golden trace is the full JSONL event stream of a small, fully
+deterministic simulation — 4×4 HyperX, one terminal per router, uniform
+random traffic at a fixed seed, with injection stopped before the end so
+most sampled packets complete their lifecycle.  The byte-exact streams
+are pinned under ``tests/golden/`` and compared by
+``tests/test_obs_golden.py``; regenerate after an *intentional* behaviour
+change with::
+
+    PYTHONPATH=src python -m pytest tests/test_obs_golden.py --update-golden
+
+The same runs back the CLI (``python -m repro trace --golden DimWAR``)
+and the CI trace smoke job.  Determinism rests on the simulator's seeded
+RNG streams (NumPy ``default_rng`` bit streams are stable) and on the
+tracer's trace-local packet ids (the global ``Packet.pid`` counter is
+process-wide and deliberately not part of the stream).
+"""
+
+from __future__ import annotations
+
+from ..config import default_config
+from ..core.registry import make_algorithm
+from ..network.network import Network
+from ..network.simulator import Simulator
+from ..traffic.injection import SyntheticTraffic
+from ..traffic.patterns import pattern_by_name
+from .events import TraceOptions
+from .export import events_jsonl
+from .tracer import Tracer
+
+#: Algorithms with a pinned golden stream (tests/golden/trace_<name>.jsonl).
+GOLDEN_ALGORITHMS = ("DOR", "DimWAR", "OmniWAR")
+
+#: The pinned scenario (do not change without regenerating the corpus).
+GOLDEN_WIDTHS = (4, 4)
+GOLDEN_TPR = 1
+GOLDEN_RATE = 0.25
+GOLDEN_SEED = 7
+GOLDEN_INJECT_CYCLES = 160
+GOLDEN_DRAIN_CYCLES = 80
+GOLDEN_OPTIONS = TraceOptions(sample_every=4, capacity=1 << 16)
+
+
+def golden_filename(algorithm: str) -> str:
+    return f"trace_{algorithm}.jsonl"
+
+
+def golden_tracer(algorithm: str) -> Tracer:
+    """Run the canonical scenario for ``algorithm``; returns the detached
+    tracer holding the full event stream."""
+    if algorithm not in GOLDEN_ALGORITHMS:
+        raise ValueError(
+            f"no golden scenario for {algorithm!r}; pick one of "
+            f"{', '.join(GOLDEN_ALGORITHMS)}"
+        )
+    from ..topology.hyperx import HyperX
+
+    topo = HyperX(GOLDEN_WIDTHS, GOLDEN_TPR)
+    net = Network(topo, make_algorithm(algorithm, topo), default_config())
+    sim = Simulator(net)
+    traffic = SyntheticTraffic(
+        net, pattern_by_name("UR", topo), GOLDEN_RATE, seed=GOLDEN_SEED
+    )
+    sim.add_process(traffic)
+    tracer = Tracer(sim, GOLDEN_OPTIONS).attach()
+    sim.run(GOLDEN_INJECT_CYCLES)
+    traffic.stop()
+    sim.run(GOLDEN_DRAIN_CYCLES)
+    tracer.detach()
+    sim.remove_process(traffic)
+    return tracer
+
+
+def golden_jsonl(algorithm: str) -> str:
+    """The canonical scenario's event stream as JSONL text (golden bytes)."""
+    return events_jsonl(golden_tracer(algorithm).events())

@@ -1,4 +1,4 @@
-"""Shared test configuration: pinned Hypothesis profiles.
+"""Shared test configuration: pinned Hypothesis profiles + golden regen.
 
 Two registered profiles:
 
@@ -9,6 +9,10 @@ Two registered profiles:
   opt in with ``HYPOTHESIS_PROFILE=dev`` when hunting for new examples.
 
 Per-test ``@settings(...)`` decorators still apply on top of the profile.
+
+Also registers ``--update-golden``: rewrite the pinned trace streams under
+``tests/golden/`` from the current simulator instead of comparing against
+them (see tests/test_obs_golden.py and docs/OBSERVABILITY.md).
 """
 
 import os
@@ -23,3 +27,13 @@ settings.register_profile(
 )
 settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the pinned trace streams in tests/golden/ "
+        "instead of comparing against them",
+    )

@@ -24,12 +24,26 @@ def test_sweep_command(capsys):
     assert "0.15" in out
 
 
-def test_sweep_dcr_requires_3d():
-    with pytest.raises(ValueError):
+def test_sweep_dcr_requires_3d(capsys):
+    """Domain errors route through the argparse error path: usage + message
+    on stderr, exit code 2 — never a raw traceback."""
+    with pytest.raises(SystemExit) as exc:
         main([
             "sweep", "--pattern", "DCR", "--widths", "3", "3",
             "--rates", "0.1", "--cycles", "500",
         ])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "sweep:" in err and "3-D" in err
+
+
+def test_sweep_check_flag(capsys):
+    rc = main([
+        "sweep", "--algorithm", "DimWAR", "--widths", "2", "2",
+        "--rates", "0.1", "--cycles", "400", "--check",
+    ])
+    assert rc == 0
+    assert "DimWAR on UR" in capsys.readouterr().out
 
 
 def test_stencil_command(capsys):
@@ -60,3 +74,86 @@ def test_bad_command_rejected():
         main(["figure", "fig99"])
     with pytest.raises(SystemExit):
         main(["sweep", "--algorithm", "NOPE"])
+
+
+# ---------------------------------------------------------------------------
+# trace subcommand
+# ---------------------------------------------------------------------------
+
+
+def test_trace_command_live_with_timeseries(capsys):
+    rc = main([
+        "trace", "--algorithm", "OmniWAR", "--widths", "2", "2",
+        "--rate", "0.25", "--cycles", "300", "--window", "100",
+        "--heatmap", "vc",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace: OmniWAR on UR" in out
+    assert "inject=" in out and "eject=" in out
+    assert "window" in out  # time-series table header
+    assert "vc0" in out  # heatmap rows
+
+
+def test_trace_command_golden_reproduces_pinned_bytes(tmp_path, capsys):
+    import os
+
+    out_path = str(tmp_path / "g.jsonl")
+    rc = main(["trace", "--golden", "DimWAR", "--jsonl", out_path])
+    assert rc == 0
+    assert "golden scenario DimWAR" in capsys.readouterr().out
+    pinned = os.path.join(
+        os.path.dirname(__file__), "golden", "trace_DimWAR.jsonl"
+    )
+    with open(out_path) as f, open(pinned) as g:
+        assert f.read() == g.read()
+
+
+def test_trace_command_profile_report(capsys):
+    rc = main([
+        "trace", "--widths", "2", "2", "--rate", "0.2",
+        "--cycles", "200", "--profile",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "route" in out and "total" in out
+
+
+def test_trace_command_chrome_export(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "t.chrome.json")
+    rc = main([
+        "trace", "--widths", "2", "2", "--rate", "0.2",
+        "--cycles", "200", "--chrome", path,
+    ])
+    assert rc == 0
+    assert "perfetto" in capsys.readouterr().out
+    with open(path) as f:
+        assert "traceEvents" in json.load(f)
+
+
+@pytest.mark.parametrize(
+    "argv,needle",
+    [
+        (["trace", "--golden", "DimWAR", "--profile"], "--profile"),
+        (["trace", "--golden", "DimWAR", "--window", "100"], "--window"),
+        (["trace", "--golden", "Valiant"], "Valiant"),
+        (["trace", "--heatmap", "vc"], "--window"),
+        (["trace", "--sample-every", "0"], "sample_every"),
+    ],
+)
+def test_trace_bad_flags_exit_2(argv, needle, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "trace:" in err and needle in err
+
+
+def test_faults_bad_schedule_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["faults", "--schedule", "/nonexistent/schedule.json"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "faults:" in err

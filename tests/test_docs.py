@@ -107,8 +107,23 @@ def test_faults_doc_covers_the_cli():
     assert "python -m repro faults" in text
 
 
+def test_observability_doc_covers_the_cli():
+    text = _read(os.path.join("docs", "OBSERVABILITY.md"))
+    for flag in (
+        "--sample-every", "--window", "--heatmap", "--golden",
+        "--jsonl", "--chrome", "--profile", "--update-golden",
+    ):
+        assert flag in text, f"docs/OBSERVABILITY.md does not document {flag}"
+    assert "python -m repro trace" in text
+    # The event schema table must name every event type the tracer emits.
+    from repro.obs import EVENT_TYPES
+
+    for t in EVENT_TYPES:
+        assert f"`{t}`" in text, f"docs/OBSERVABILITY.md misses event {t!r}"
+
+
 #: Modules whose docstrings promise runnable examples (ISSUE: fault modules
-#: plus the parallel engine and telemetry probe).
+#: plus the parallel engine, telemetry probe, and the observability layer).
 DOCTEST_MODULES = [
     "repro.faults",
     "repro.faults.model",
@@ -118,6 +133,9 @@ DOCTEST_MODULES = [
     "repro.network.telemetry",
     "repro.check.sanitizer",
     "repro.check.oracle",
+    "repro.obs.tracer",
+    "repro.obs.timeseries",
+    "repro.obs.profile",
 ]
 
 

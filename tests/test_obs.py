@@ -1,0 +1,480 @@
+"""Tests for repro.obs: tracer, ring buffer, time series, exporters, profiler.
+
+Covers the observation layer end to end — event model and sampling,
+attach/detach hygiene on every hook seam (the bound-method identity
+pitfall), the exporters' round trips, phase profiling, and the driver
+plumbing (``measure_point`` / ``run_fault_transient`` / ``PointSpec``) —
+plus the cross-checks proving trace-derived statistics reconstruct
+``repro.network.stats`` exactly.
+"""
+
+import dataclasses
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.analysis.sweep import measure_point
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.stats import PacketStats
+from repro.obs import (
+    EVENT_TYPES,
+    EventRing,
+    PhaseProfiler,
+    TimeSeriesSampler,
+    TraceEvent,
+    TraceOptions,
+    Tracer,
+    chrome_trace,
+    events_jsonl,
+    occupancy_heatmap,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+
+def _sim(widths=(2, 2), tpr=1, algo="DimWAR", rate=0.2, seed=3):
+    topo = HyperX(widths, tpr)
+    net = Network(topo, make_algorithm(algo, topo), default_config())
+    sim = Simulator(net)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), rate, seed=seed)
+    sim.processes.append(traffic)
+    return topo, net, sim, traffic
+
+
+def _traced_run(options=None, cycles=300, drain=True, **kwargs):
+    topo, net, sim, traffic = _sim(**kwargs)
+    tracer = Tracer(sim, options).attach()
+    sim.run(cycles)
+    if drain:
+        traffic.stop()
+        sim.drain(max_cycles=100_000)
+    tracer.detach()
+    return topo, net, sim, tracer
+
+
+# ---------------------------------------------------------------------------
+# Options and ring buffer
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"sample_every": 0},
+        {"capacity": 0},
+        {"start": -1},
+        {"start": 10, "end": 10},
+        {"end": 0},
+        {"window": -1},
+    ],
+)
+def test_trace_options_validation(kwargs):
+    with pytest.raises(ValueError):
+        TraceOptions(**kwargs)
+
+
+def test_trace_options_picklable_and_frozen():
+    opt = TraceOptions(sample_every=2, window=50)
+    assert pickle.loads(pickle.dumps(opt)) == opt
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        opt.sample_every = 3
+
+
+def test_event_ring_drops_oldest():
+    ring = EventRing(3)
+    for i in range(5):
+        ring.append(TraceEvent(i, "inject", i, 0, {}))
+    assert len(ring) == 3
+    assert ring.recorded == 5 and ring.dropped == 2
+    assert [ev.cycle for ev in ring.events()] == [2, 3, 4]
+    ring.clear()
+    assert len(ring) == 0 and ring.recorded == 5  # counters survive clear
+
+
+def test_event_ring_counts_cover_all_types():
+    ring = EventRing(8)
+    ring.append(TraceEvent(0, "inject", 0, 0, {}))
+    ring.append(TraceEvent(1, "route", 0, 0, {}))
+    counts = ring.counts()
+    assert set(counts) == set(EVENT_TYPES)
+    assert counts["inject"] == 1 and counts["eject"] == 0
+    assert ring.by_packet() == {0: ring.events()}
+
+
+def test_tracer_honors_ring_capacity():
+    _, _, _, tracer = _traced_run(TraceOptions(capacity=16), cycles=300)
+    assert len(tracer.ring) == 16
+    assert tracer.ring.dropped > 0
+    assert tracer.ring.recorded == len(tracer.ring) + tracer.ring.dropped
+
+
+# ---------------------------------------------------------------------------
+# Attach/detach hygiene (satellite: the bound-method identity pitfall)
+# ---------------------------------------------------------------------------
+
+
+def test_attach_detach_attach_leaves_zero_residue():
+    topo, net, sim, traffic = _sim()
+    sinks_before = [rec.data._sink for rec in net.links if rec.kind == "rr"]
+    tracer = Tracer(sim)
+    for _ in range(2):  # attach -> detach twice; second round must be clean
+        tracer.attach()
+        sim.run(100)
+        tracer.detach()
+        for r in net.routers:
+            assert r._route_hook is None and r._route_hooks == []
+            assert r._forward_hook is None and r._forward_hooks == []
+        for t in net.terminals:
+            assert t.inject_listeners == [] and t.delivery_listeners == []
+        sinks_after = [rec.data._sink for rec in net.links if rec.kind == "rr"]
+        assert sinks_after == sinks_before  # originals restored by identity
+    assert len(tracer.events()) > 0
+
+
+def test_double_attach_rejected_and_detach_idempotent():
+    _, _, sim, _ = _sim()
+    tracer = Tracer(sim).attach()
+    with pytest.raises(RuntimeError):
+        tracer.attach()
+    tracer.detach()
+    tracer.detach()  # no-op, no error
+    assert not tracer.attached
+
+
+def test_duplicate_hook_registration_rejected():
+    _, net, _, _ = _sim()
+    r = net.routers[0]
+    hook = lambda *a: None
+    r.add_route_hook(hook)
+    with pytest.raises(ValueError):
+        r.add_route_hook(hook)
+    r.remove_route_hook(hook)
+    assert r._route_hook is None
+    r.add_forward_hook(hook)
+    with pytest.raises(ValueError):
+        r.add_forward_hook(hook)
+    r.remove_forward_hook(hook)
+    assert r._forward_hook is None
+
+
+def test_tracer_coexists_with_sanitizer():
+    """Hook fan-out: the sanitizer and the tracer share the route seam."""
+    from repro.check.sanitizer import Sanitizer
+
+    topo, net, sim, traffic = _sim()
+    sanitizer = Sanitizer(sim).attach()
+    tracer = Tracer(sim).attach()
+    sim.run(200)
+    tracer.detach()
+    # The sanitizer's hook must survive the tracer's detach untouched.
+    assert all(r._route_hook is not None for r in net.routers)
+    sim.run(50)
+    sanitizer.final_check()
+    sanitizer.detach()
+    assert all(r._route_hook is None for r in net.routers)
+    assert tracer.ring.counts()["route"] > 0
+
+
+def test_sampler_attach_detach_residue_free():
+    _, net, sim, _ = _sim()
+    sampler = TimeSeriesSampler(sim, window=50).attach()
+    with pytest.raises(RuntimeError):
+        sampler.attach()
+    sim.run(120)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    sampler.detach()  # idempotent
+    assert all(t.delivery_listeners == [] for t in net.terminals)
+    assert len(sampler.samples) == 3  # two full windows + one partial
+
+
+# ---------------------------------------------------------------------------
+# Sampling and cycle windows
+# ---------------------------------------------------------------------------
+
+
+def test_sample_every_thins_packets():
+    _, _, _, full = _traced_run(TraceOptions(sample_every=1), cycles=300)
+    _, _, _, third = _traced_run(TraceOptions(sample_every=3), cycles=300)
+    n = full.packets_sampled
+    assert n > 10
+    assert third.packets_sampled == math.ceil(n / 3)
+    # Sampled tids are dense 0..k-1 and every event belongs to one.
+    tids = {ev.pkt for ev in third.events()}
+    assert tids <= set(range(third.packets_sampled))
+
+
+def test_cycle_window_filters_events_but_not_ids():
+    _, _, _, full = _traced_run(TraceOptions(), cycles=300)
+    _, _, _, windowed = _traced_run(TraceOptions(start=100, end=200), cycles=300)
+    assert all(100 <= ev.cycle < 200 for ev in windowed.events())
+    # Trace-local ids are window-independent: the same packet gets the same
+    # tid, so windowed inject events are a subset of the full stream's.
+    full_injects = {
+        ev.pkt: ev.to_dict() for ev in full.events() if ev.type == "inject"
+    }
+    for ev in windowed.events():
+        if ev.type == "inject":
+            assert full_injects[ev.pkt] == ev.to_dict()
+    assert windowed.packets_sampled == full.packets_sampled
+
+
+# ---------------------------------------------------------------------------
+# Cross-checks: trace-derived stats == repro.network.stats
+# ---------------------------------------------------------------------------
+
+
+def test_trace_reconstructs_packet_stats_exactly():
+    """At sample_every=1 with no drops, the multiset of per-packet
+    (create, latency, hops, deroutes) from eject events equals what
+    PacketStats collected through its own delivery listener."""
+    topo, net, sim, traffic = _sim(widths=(3, 3), algo="OmniWAR", rate=0.3)
+    stats = PacketStats()
+    for t in net.terminals:
+        t.delivery_listeners.append(stats.on_delivery)
+    tracer = Tracer(sim).attach()
+    sim.run(400)
+    traffic.stop()
+    sim.drain(max_cycles=100_000)
+    tracer.detach()
+    assert tracer.ring.dropped == 0
+    ejects = [ev for ev in tracer.events() if ev.type == "eject"]
+    assert len(ejects) == stats.packets_delivered > 0
+    from_trace = sorted(
+        (e.data["create"], e.data["latency"], e.data["hops"], e.data["deroutes"])
+        for e in ejects
+    )
+    from_stats = sorted(
+        (s.create_cycle, s.latency, s.hops, s.deroutes) for s in stats.samples
+    )
+    assert from_trace == from_stats
+    assert sum(e.data["size"] for e in ejects) == stats.flits_delivered
+
+
+def test_timeseries_reconstructs_network_totals():
+    topo, net, sim, traffic = _sim(widths=(3, 3), rate=0.3)
+    stats = PacketStats()
+    for t in net.terminals:
+        t.delivery_listeners.append(stats.on_delivery)
+    sampler = TimeSeriesSampler(sim, window=100).attach()
+    sim.run(450)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    assert [s.span for s in sampler.samples] == [100, 100, 100, 100, 50]
+    assert sum(s.accepted_flits for s in sampler.samples) == net.total_ejected_flits()
+    assert sum(s.injected_flits for s in sampler.samples) == net.total_injected_flits()
+    assert sum(s.packets_delivered for s in sampler.samples) == stats.packets_delivered
+    # Window latencies aggregate the same deliveries PacketStats saw.
+    delivered = sum(s.packets_delivered for s in sampler.samples)
+    assert delivered == len(stats.samples)
+
+
+def test_trace_route_events_match_packet_hops():
+    _, _, _, tracer = _traced_run(cycles=300)
+    by_packet = tracer.ring.by_packet()
+    checked = 0
+    for tid, evs in by_packet.items():
+        if evs[0].type != "inject" or evs[-1].type != "eject":
+            continue  # packet clipped by the run end
+        routes = [e for e in evs if e.type == "route"]
+        eject = evs[-1]
+        assert len(routes) == eject.data["hops"]
+        assert sum(e.data["deroute"] for e in routes) == eject.data["deroutes"]
+        assert eject.cycle - evs[0].data["create"] == eject.data["latency"]
+        checked += 1
+    assert checked > 5
+
+
+def test_route_events_carry_scored_candidates():
+    _, _, _, tracer = _traced_run(algo="OmniWAR", widths=(3, 3), cycles=300)
+    routes = [ev for ev in tracer.events() if ev.type == "route"]
+    assert routes
+    for ev in routes:
+        cands = ev.data["cands"]
+        assert cands, "route event with no candidates"
+        chosen = [c for c in cands if c[0] == ev.data["out_port"]]
+        assert chosen, "chosen port missing from candidate list"
+        for out_port, vc_class, hops, deroute, weight in cands:
+            assert deroute in (0, 1)
+            assert weight is None or weight > 0
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    _, _, _, tracer = _traced_run(cycles=200)
+    events = tracer.events()
+    path = write_jsonl(events, str(tmp_path / "t.jsonl"))
+    assert read_jsonl(path) == events  # TraceEvent.__eq__ is dict equality
+    assert events_jsonl([]) == ""
+    text = events_jsonl(events)
+    assert text.endswith("\n") and len(text.splitlines()) == len(events)
+
+
+def test_chrome_trace_structure():
+    topo, net, sim, traffic = _sim(rate=0.3)
+    tracer = Tracer(sim).attach()
+    sampler = TimeSeriesSampler(sim, window=100).attach()
+    sim.run(300)
+    traffic.stop()
+    sim.drain(max_cycles=100_000)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    tracer.detach()
+    doc = chrome_trace(tracer.events(), sampler.samples)
+    assert doc["displayTimeUnit"] == "ms"
+    te = doc["traceEvents"]
+    phases = {e["ph"] for e in te}
+    assert {"M", "X", "i", "C"} <= phases
+    slices = [e for e in te if e["ph"] == "X"]
+    injects = [ev for ev in tracer.events() if ev.type == "inject"]
+    assert len(slices) == len(injects)
+    for s in slices:
+        assert s["dur"] >= 1 and s["pid"] == 1
+    counters = [e for e in te if e["ph"] == "C"]
+    assert len(counters) == 2 * len(sampler.samples)
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    _, _, _, tracer = _traced_run(cycles=200)
+    path = write_chrome_trace(tracer.events(), str(tmp_path / "t.chrome.json"))
+    with open(path) as f:
+        doc = json.load(f)
+    assert "traceEvents" in doc
+
+
+def test_occupancy_heatmap_modes():
+    topo, net, sim, _ = _sim(rate=0.4)
+    sampler = TimeSeriesSampler(sim, window=50).attach()
+    sim.run(300)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    router_map = occupancy_heatmap(sampler.samples, mode="router")
+    assert "r0" in router_map and str(sampler.samples[0].start) in router_map
+    vc_map = occupancy_heatmap(sampler.samples, mode="vc")
+    assert "vc0" in vc_map
+    with pytest.raises(ValueError):
+        occupancy_heatmap(sampler.samples, mode="link")
+    with pytest.raises(ValueError):
+        occupancy_heatmap([], mode="router")
+
+
+def test_ascii_heatmap_validation():
+    from repro.analysis.ascii_plot import ascii_heatmap
+
+    with pytest.raises(ValueError):
+        ascii_heatmap([])
+    with pytest.raises(ValueError):
+        ascii_heatmap([[1, 2]], row_labels=["a", "b"])
+    out = ascii_heatmap([[0, 1], [2, 3]], row_labels=["a", "b"], title="t")
+    assert "t" in out and "a" in out
+
+
+# ---------------------------------------------------------------------------
+# Phase profiler
+# ---------------------------------------------------------------------------
+
+
+def test_phase_profiler_accounts_and_unwraps():
+    topo, net, sim, traffic = _sim(rate=0.3)
+    prof = PhaseProfiler(sim)
+    prof.run(300)
+    assert prof.cycles_profiled == 300 and sim.cycle == 300
+    rep = prof.report()
+    assert set(rep) == set(PhaseProfiler.PHASES)
+    assert all(v >= 0.0 for v in rep.values())
+    assert abs(sum(rep.values()) - prof.total_s) < 1e-9
+    assert rep["route"] > 0.0  # a loaded run must compute routes
+    # Shadowed bound methods are gone: no instance attrs remain.
+    for r in net.routers:
+        for name in ("_compute_route", "_allocate_vc", "_step_outputs"):
+            assert name not in r.__dict__
+    assert "total" in prof.format_report()
+
+
+def test_phase_profiler_preserves_simulation_results():
+    _, net_a, sim_a, tr_a = _sim(rate=0.3, seed=5)
+    sim_a.run(400)
+    _, net_b, sim_b, tr_b = _sim(rate=0.3, seed=5)
+    PhaseProfiler(sim_b).run(400)
+    assert net_a.total_ejected_flits() == net_b.total_ejected_flits()
+    assert net_a.total_injected_flits() == net_b.total_injected_flits()
+    assert tr_a.packets_generated == tr_b.packets_generated
+
+
+# ---------------------------------------------------------------------------
+# Driver plumbing
+# ---------------------------------------------------------------------------
+
+
+def _point_kwargs(trace=None):
+    topo = HyperX((2, 2), 1)
+    algo = make_algorithm("DimWAR", topo)
+    patt = UniformRandom(topo.num_terminals)
+    return dict(
+        topology=topo, algorithm=algo, pattern=patt, rate=0.15,
+        total_cycles=600, seed=2, trace=trace,
+    )
+
+
+def test_measure_point_trace_export(tmp_path):
+    out = str(tmp_path / "traces")
+    trace = TraceOptions(window=100, out_dir=out, chrome=True)
+    traced = measure_point(**_point_kwargs(trace))
+    plain = measure_point(**_point_kwargs())
+    a, b = dataclasses.asdict(traced), dataclasses.asdict(plain)
+    a.pop("wall_clock_s"), b.pop("wall_clock_s")
+    assert a == b  # tracing never changes the measurement
+    stem = "trace_DimWAR_UR_r0.1500"
+    jsonl = tmp_path / "traces" / f"{stem}.jsonl"
+    chrome = tmp_path / "traces" / f"{stem}.chrome.json"
+    assert jsonl.exists() and chrome.exists()
+    assert read_jsonl(str(jsonl))  # parseable, non-empty
+
+
+def test_point_spec_carries_trace_and_pickles(tmp_path):
+    from repro.analysis.parallel import PointSpec, run_point
+
+    trace = TraceOptions(sample_every=2, window=200, out_dir=str(tmp_path))
+    spec = PointSpec(
+        widths=(2, 2), terminals_per_router=1, algorithm="DOR",
+        pattern="UR", rate=0.1, total_cycles=400, seed=1, trace=trace,
+    )
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.trace == trace
+    result = run_point(clone)
+    assert result.packets_delivered > 0
+    assert (tmp_path / "trace_DOR_UR_r0.1000.jsonl").exists()
+
+
+def test_fault_transient_trace_export(tmp_path):
+    from repro.experiments.faults import run_fault_transient
+
+    res = run_fault_transient(
+        "DimWAR", scale="smoke", rate=0.1, window=60,
+        pre_windows=2, post_windows=2, fail_links=1,
+        trace=TraceOptions(window=60, out_dir=str(tmp_path)),
+    )
+    assert res.delivered_packets > 0
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == ["trace_fault_DimWAR_smoke.jsonl"]
+
+
+def test_trace_on_off_oracle_small():
+    from repro.check.oracle import diff_trace_on_off
+
+    report = diff_trace_on_off(widths=(2, 2), rates=(0.1,), total_cycles=400)
+    assert report.ok, report.detail

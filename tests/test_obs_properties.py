@@ -1,0 +1,135 @@
+"""Property tests: every traced packet's event sequence is well-formed.
+
+For randomly drawn small HyperX configurations, loads, and seeds, every
+packet that completes inside the trace must satisfy the lifecycle grammar:
+
+* exactly one ``inject`` (first) and one ``eject`` (last);
+* cycles monotone non-decreasing, with ``inject < first route <= eject``;
+* one ``route`` + ``vc_alloc`` pair per hop (``route count == hops``);
+* ``sa`` fires once per flit per crossbar traversal — ``size * (hops + 1)``
+  (the ``+ 1`` is the ejection-port crossing) — and ``link`` once per flit
+  per router-to-router channel — ``size * hops``;
+* for distance-class algorithms the VC class equals the hop index
+  (class 0 at injection, +1 per hop — the deadlock-freedom argument).
+
+Runs under the derandomized ``ci`` Hypothesis profile (tests/conftest.py),
+so a failure here reproduces verbatim on any machine.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.obs import EVENT_TYPES, TraceOptions, Tracer
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+CONFIGS = st.sampled_from([
+    ((2, 2), 1),
+    ((3, 2), 1),
+    ((3, 3), 1),
+    ((2, 2), 2),
+    ((2, 2, 2), 1),
+])
+ALGORITHMS = st.sampled_from(["DOR", "DimWAR", "OmniWAR"])
+
+ORDER = {t: i for i, t in enumerate(EVENT_TYPES)}
+
+
+def _traced_packets(widths, tpr, algorithm, rate, seed, cycles):
+    topo = HyperX(widths, tpr)
+    algo = make_algorithm(algorithm, topo)
+    net = Network(topo, algo, default_config())
+    sim = Simulator(net)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), rate, seed=seed)
+    sim.processes.append(traffic)
+    tracer = Tracer(sim, TraceOptions(capacity=1 << 18)).attach()
+    sim.run(cycles)
+    traffic.stop()
+    sim.drain(max_cycles=1_000_000)
+    tracer.detach()
+    assert tracer.ring.dropped == 0
+    return algo, tracer.ring.by_packet()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    config=CONFIGS,
+    algorithm=ALGORITHMS,
+    rate=st.floats(0.05, 0.3),
+    seed=st.integers(0, 2**16),
+    cycles=st.integers(120, 300),
+)
+def test_traced_packets_are_well_formed(config, algorithm, rate, seed, cycles):
+    widths, tpr = config
+    algo, by_packet = _traced_packets(widths, tpr, algorithm, rate, seed, cycles)
+    assert by_packet, "run produced no traced packets"
+    complete = 0
+    for tid, evs in by_packet.items():
+        types = [e.type for e in evs]
+        # Monotone time, and the per-cycle event order follows the lifecycle.
+        for a, b in zip(evs, evs[1:]):
+            assert a.cycle <= b.cycle, f"pkt {tid}: cycle went backwards"
+        assert types.count("inject") <= 1 and types.count("eject") <= 1
+        if types[0] != "inject" or types[-1] != "eject":
+            continue  # clipped by the drain limit — partial stream is fine
+        complete += 1
+        inject, eject = evs[0], evs[-1]
+        size = inject.data["size"]
+        hops = eject.data["hops"]
+        routes = [e for e in evs if e.type == "route"]
+        vcs = [e for e in evs if e.type == "vc_alloc"]
+        sas = [e for e in evs if e.type == "sa"]
+        links = [e for e in evs if e.type == "link"]
+
+        if routes:  # hops == 0 when src and dst share a router (tpr > 1)
+            assert inject.cycle < routes[0].cycle <= eject.cycle
+        assert len(routes) == len(vcs) == hops
+        assert len(sas) == size * (hops + 1)
+        assert len(links) == size * hops
+        assert eject.data["latency"] == eject.cycle - inject.data["create"]
+        assert eject.data["deroutes"] == sum(r.data["deroute"] for r in routes)
+        # The head flit's link traversals happen in hop order (body flits
+        # interleave arbitrarily under wormhole pipelining): each route
+        # decision after the first is taken where the previous head-flit
+        # link delivered to.
+        head_links = [l for l in links if l.data["flit"] == 0]
+        assert len(head_links) == hops
+        for link, nxt in zip(head_links, routes[1:]):
+            assert link.data["dst"] == nxt.where
+
+        if getattr(algo, "distance_classes", False):
+            for hop, vc in enumerate(vcs):
+                assert vc.data["vc_class"] == hop, (
+                    f"pkt {tid}: VC class {vc.data['vc_class']} at hop {hop}"
+                )
+    assert complete > 0, "no packet completed inside the trace"
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    sample_every=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_sampling_never_breaks_well_formedness(sample_every, seed):
+    """Thinned traces stay per-packet complete: sampling drops whole
+    packets, never individual events of a kept packet."""
+    topo = HyperX((3, 3), 1)
+    net = Network(topo, make_algorithm("DimWAR", topo), default_config())
+    sim = Simulator(net)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.2, seed=seed)
+    sim.processes.append(traffic)
+    tracer = Tracer(sim, TraceOptions(sample_every=sample_every)).attach()
+    sim.run(250)
+    traffic.stop()
+    sim.drain(max_cycles=1_000_000)
+    tracer.detach()
+    for tid, evs in tracer.ring.by_packet().items():
+        types = [e.type for e in evs]
+        assert types[0] == "inject" and types[-1] == "eject"
+        routes = sum(1 for t in types if t == "route")
+        assert routes == evs[-1].data["hops"]

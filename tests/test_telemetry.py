@@ -1,4 +1,7 @@
-"""Tests for network telemetry (link utilization, congestion maps)."""
+"""Tests for network telemetry (link utilization, congestion maps) and the
+windowed time-series sampler built on top of it (repro.obs.timeseries)."""
+
+import math
 
 import pytest
 
@@ -102,3 +105,100 @@ def test_buffer_occupancy_and_class_breakdown():
     assert sum(by_class.values()) > 0
     # minimal hops dominate: class 0 carries most of the buffered flits
     assert by_class[0] >= by_class[1]
+
+
+# ---------------------------------------------------------------------------
+# Windowed time series (repro.obs.timeseries) — edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_timeseries_empty_window_reports_nan():
+    from repro.obs import TimeSeriesSampler
+
+    topo, net, sim = _sim(widths=(2, 2), tpr=1)
+    sampler = TimeSeriesSampler(sim, window=40).attach()
+    sim.run(80)  # idle network: nothing injected, nothing delivered
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    assert [s.span for s in sampler.samples] == [40, 40]
+    for s in sampler.samples:
+        assert s.offered_flits == s.injected_flits == s.accepted_flits == 0
+        assert s.packets_delivered == 0
+        assert math.isnan(s.latency_mean)
+        assert math.isnan(s.latency_p50) and math.isnan(s.latency_p99)
+        assert s.accepted_rate == 0.0
+        assert max(s.router_occupancy) == 0
+
+
+def test_timeseries_attach_after_warmup_aligns_windows():
+    """Windows align to the attach cycle and the warmup's flit totals are
+    excluded: the first window's deltas count only in-window traffic."""
+    from repro.obs import TimeSeriesSampler
+
+    topo, net, sim = _sim(widths=(3, 3), tpr=1)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.3, seed=4)
+    sim.processes.append(traffic)
+    sim.run(137)  # deliberately not a multiple of the window
+    warm_ejected = net.total_ejected_flits()
+    assert warm_ejected > 0
+    sampler = TimeSeriesSampler(sim, window=50).attach()
+    sim.run(100)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    assert [(s.start, s.end) for s in sampler.samples] == [(137, 187), (187, 237)]
+    total_accepted = sum(s.accepted_flits for s in sampler.samples)
+    assert total_accepted == net.total_ejected_flits() - warm_ejected
+
+
+def test_timeseries_finalize_closes_partial_window_once():
+    from repro.obs import TimeSeriesSampler
+
+    topo, net, sim = _sim(widths=(2, 2), tpr=1)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.2, seed=5)
+    sim.processes.append(traffic)
+    sampler = TimeSeriesSampler(sim, window=60).attach()
+    sim.run(150)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    assert [s.span for s in sampler.samples] == [60, 60, 30]
+    # Finalizing again at the same cycle must not append an empty window.
+    sampler.finalize(sim.cycle)
+    assert len(sampler.samples) == 3
+    assert sampler.samples[-1].end == 150
+
+
+def test_timeseries_finalize_at_exact_boundary_yields_full_window():
+    """When the run length is a multiple of the window, finalize closes an
+    exact (not partial) final window."""
+    from repro.obs import TimeSeriesSampler
+
+    topo, net, sim = _sim(widths=(2, 2), tpr=1)
+    sampler = TimeSeriesSampler(sim, window=50).attach()
+    sim.run(100)
+    sampler.finalize(sim.cycle)
+    sampler.detach()
+    assert [s.span for s in sampler.samples] == [50, 50]
+
+
+def test_timeseries_rejects_bad_window():
+    from repro.obs import TimeSeriesSampler
+
+    topo, net, sim = _sim(widths=(2, 2), tpr=1)
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(sim, window=0)
+
+
+def test_timeseries_dimension_utilization_on_hyperx():
+    from repro.obs import TimeSeriesSampler
+
+    topo, net, sim = _sim(widths=(3, 3), tpr=1)
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.3, seed=6)
+    sim.processes.append(traffic)
+    sampler = TimeSeriesSampler(sim, window=100).attach()
+    sim.run(200)
+    sampler.detach()
+    for s in sampler.samples:
+        assert s.dim_utilization is not None
+        assert len(s.dim_utilization) == topo.num_dims
+        assert all(0.0 <= u <= 1.0 for u in s.dim_utilization)
+    assert max(sampler.samples[-1].dim_utilization) > 0.0
