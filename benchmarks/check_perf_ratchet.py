@@ -1,0 +1,82 @@
+"""CI perf ratchet: fail when any microbenchmark regresses >20% vs recorded.
+
+Usage::
+
+    python benchmarks/check_perf_ratchet.py FRESH.json [RECORDED.json]
+
+``FRESH`` is either a raw pytest-benchmark ``--benchmark-json`` file or a
+``repro-perf-summary/1`` file from ``python -m repro bench``; ``RECORDED``
+defaults to the repo's ``BENCH_sim.json``.  For every benchmark present in
+both files the fresh *min* must stay within ``TOLERANCE`` of the recorded
+min — the min (not mean) because interference can only slow a round down,
+so minima are the most machine-stable statistic available to a ratchet.
+
+The 20% tolerance absorbs runner-to-runner jitter, not architecture
+regressions: the hot-path changes this guards (scoring kernel, event-driven
+stage scheduling, active sets) each moved their benchmark by well over 20%.
+When a regression is real, fix it or — if the slowdown is an accepted
+trade — regenerate the recorded file with ``python -m repro bench`` in the
+same PR and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOLERANCE = 1.20  # fresh min may be at most 20% above the recorded min
+
+
+def extract_mins(data: dict) -> dict[str, float]:
+    """name -> min seconds, from either supported schema."""
+    out = {}
+    for b in data.get("benchmarks", []):
+        if "min_s" in b:  # repro-perf-summary/1
+            out[b["name"]] = float(b["min_s"])
+        elif "stats" in b:  # pytest-benchmark --benchmark-json
+            out[b["name"]] = float(b["stats"]["min"])
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path = argv[0]
+    recorded_path = argv[1] if len(argv) == 2 else "BENCH_sim.json"
+    with open(fresh_path) as f:
+        fresh = extract_mins(json.load(f))
+    with open(recorded_path) as f:
+        recorded = extract_mins(json.load(f))
+    if not fresh:
+        print(f"no benchmarks found in {fresh_path}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in sorted(recorded):
+        if name not in fresh:
+            print(f"SKIP  {name}: not in {fresh_path}")
+            continue
+        ratio = fresh[name] / recorded[name]
+        verdict = "FAIL" if ratio > TOLERANCE else "ok"
+        print(
+            f"{verdict:>4}  {name}: recorded {recorded[name]:.3e}s, "
+            f"fresh {fresh[name]:.3e}s ({ratio:.2f}x)"
+        )
+        if ratio > TOLERANCE:
+            failures.append(name)
+
+    if failures:
+        print(
+            f"\nperf ratchet: {len(failures)} benchmark(s) regressed more "
+            f"than {(TOLERANCE - 1):.0%} vs {recorded_path}: "
+            + ", ".join(failures)
+        )
+        return 1
+    print(f"\nperf ratchet: all benchmarks within {(TOLERANCE - 1):.0%} of "
+          f"{recorded_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

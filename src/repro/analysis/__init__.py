@@ -10,6 +10,7 @@ from .theory import (
     mean_min_hops_uniform,
     zero_load_latency,
 )
+from .memo import SIM_SALT, SweepMemo, canonical_spec, point_key
 from .parallel import PointSpec, SweepProgress, point_specs, run_point, run_points
 from .sweep import (
     PointResult,
@@ -28,6 +29,10 @@ __all__ = [
     "PointResult",
     "SweepResult",
     "PointSpec",
+    "SweepMemo",
+    "SIM_SALT",
+    "canonical_spec",
+    "point_key",
     "SweepProgress",
     "point_specs",
     "run_point",

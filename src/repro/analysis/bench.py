@@ -1,0 +1,272 @@
+"""Perf microbenchmark harness behind ``python -m repro bench``.
+
+Runs the same five simulator microbenchmarks as
+``benchmarks/test_perf_simulator.py`` (network construction, loaded and
+idle simulation cycles, traffic generation, one adaptive routing decision)
+without the pytest-benchmark machinery, and regenerates the repo's recorded
+``BENCH_sim.json`` in its ``repro-perf-summary/1`` schema.  The
+``seed_min_s`` baselines (the very first commit's timings) are carried over
+from the existing file so the ``speedup_vs_seed`` trajectory survives
+regeneration.
+
+``--compare`` mode times the current tree and prints per-benchmark speedup
+against the recorded mins without touching the file — the manual version of
+the CI perf ratchet (``benchmarks/check_perf_ratchet.py``).
+
+Timings are wall-clock minima over several rounds: the min is the noise
+floor estimator (any round can only be *slowed* by interference), which is
+also what pytest-benchmark's history and the CI ratchet key on.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from datetime import datetime, timezone
+from platform import python_version
+
+SCHEMA = "repro-perf-summary/1"
+
+
+# ----------------------------------------------------------------------
+# Scenarios (mirrors benchmarks/test_perf_simulator.py)
+# ----------------------------------------------------------------------
+
+def _loaded_sim(widths=(4, 4), tpr=2, algo="DimWAR", rate=0.4, warm=300):
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..network.network import Network
+    from ..network.simulator import Simulator
+    from ..topology.hyperx import HyperX
+    from ..traffic.injection import SyntheticTraffic
+    from ..traffic.patterns import UniformRandom
+
+    topo = HyperX(widths, tpr)
+    net = Network(topo, make_algorithm(algo, topo), default_config())
+    sim = Simulator(net)
+    sim.processes.append(
+        SyntheticTraffic(net, UniformRandom(topo.num_terminals), rate, seed=1)
+    )
+    sim.run(warm)
+    return sim
+
+
+def _bench_network_construction():
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..network.network import Network
+    from ..topology.hyperx import HyperX
+
+    topo = HyperX((4, 4, 4), 4)
+
+    def build():
+        Network(topo, make_algorithm("OmniWAR", topo), default_config())
+
+    return build, {"rounds": 10, "iterations": 1}
+
+
+def _bench_cycles_loaded():
+    sim = _loaded_sim()
+
+    def run_chunk():
+        sim.run(100)
+
+    return run_chunk, {
+        "rounds": 10, "iterations": 1, "warmup_rounds": 1,
+        "cycles_per_chunk": 100,
+    }
+
+
+def _bench_cycles_idle():
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..network.network import Network
+    from ..network.simulator import Simulator
+    from ..topology.hyperx import HyperX
+
+    topo = HyperX((4, 4), 2)
+    net = Network(topo, make_algorithm("DOR", topo), default_config())
+    sim = Simulator(net)
+
+    def run_chunk():
+        sim.run(1000)
+
+    return run_chunk, {"rounds": 5, "iterations": 1, "cycles_per_chunk": 1000}
+
+
+def _bench_traffic_generation():
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..network.network import Network
+    from ..topology.hyperx import HyperX
+    from ..traffic.injection import SyntheticTraffic
+    from ..traffic.patterns import UniformRandom
+
+    topo = HyperX((4, 4, 4), 4)
+    net = Network(topo, make_algorithm("DOR", topo), default_config())
+    traffic = SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.3, seed=2)
+    cycle = [0]
+
+    def generate():
+        traffic(cycle[0])
+        cycle[0] += 1
+
+    return generate, {"rounds": 50, "iterations": 10}
+
+
+def _bench_routing_decision():
+    from ..core.base import RouteContext
+    from ..network.types import Packet
+
+    sim = _loaded_sim(algo="OmniWAR", rate=0.5, warm=500)
+    net = sim.network
+    topo = net.topology
+    r0 = net.routers[0]
+    pkt = Packet(0, topo.num_terminals - 1, 4, create_cycle=sim.cycle)
+    ctx = RouteContext(
+        router=r0,
+        packet=pkt,
+        input_port=topo.terminal_port(0),
+        input_vc_class=0,
+        from_terminal=True,
+    )
+    candidates = net.algorithm.candidates
+
+    def decide():
+        candidates(ctx)
+
+    return decide, {"rounds": 300, "iterations": 50, "warmup_rounds": 10}
+
+
+#: name -> zero-arg factory returning (callable, options); declaration order
+#: is execution order and matches the recorded file's sort order.
+SCENARIOS = {
+    "test_perf_network_construction": _bench_network_construction,
+    "test_perf_routing_decision": _bench_routing_decision,
+    "test_perf_simulation_cycles_idle": _bench_cycles_idle,
+    "test_perf_simulation_cycles_loaded": _bench_cycles_loaded,
+    "test_perf_traffic_generation": _bench_traffic_generation,
+}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+def _time_scenario(fn, rounds: int, iterations: int, warmup_rounds: int = 0):
+    """Per-round seconds-per-iteration, pytest-benchmark pedantic style:
+    shared state across rounds, warm-up rounds discarded."""
+    timer = time.perf_counter
+    for _ in range(warmup_rounds):
+        for _ in range(iterations):
+            fn()
+    samples = []
+    for _ in range(rounds):
+        t0 = timer()
+        for _ in range(iterations):
+            fn()
+        samples.append((timer() - t0) / iterations)
+    return samples
+
+
+def run_benchmarks(names=None) -> dict:
+    """Run the microbenchmarks; returns the ``repro-perf-summary/1`` dict.
+
+    ``names`` restricts to a subset (unknown names raise ValueError).
+    ``seed_min_s``/``speedup_vs_seed`` are left for the caller to graft from
+    the previously recorded file (:func:`merge_seed_baselines`).
+    """
+    selected = list(SCENARIOS) if names is None else list(names)
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {', '.join(unknown)}")
+    out = []
+    for name in selected:
+        fn, opts = SCENARIOS[name]()
+        samples = _time_scenario(
+            fn,
+            rounds=opts["rounds"],
+            iterations=opts["iterations"],
+            warmup_rounds=opts.get("warmup_rounds", 0),
+        )
+        entry = {
+            "name": name,
+            "min_s": min(samples),
+            "median_s": statistics.median(samples),
+            "mean_s": statistics.fmean(samples),
+            "rounds": len(samples),
+        }
+        cycles = opts.get("cycles_per_chunk")
+        if cycles:
+            entry["cycles_per_chunk"] = cycles
+            entry["cycles_per_sec_min"] = int(cycles / entry["min_s"])
+        out.append(entry)
+    return {
+        "schema": SCHEMA,
+        "source": "python -m repro bench (src/repro/analysis/bench.py)",
+        "python": python_version(),
+        "datetime": datetime.now(timezone.utc).isoformat(),
+        "benchmarks": sorted(out, key=lambda b: b["name"]),
+    }
+
+
+def merge_seed_baselines(summary: dict, recorded: dict | None) -> dict:
+    """Graft ``seed_min_s`` (and recompute ``speedup_vs_seed``) from the
+    previously recorded summary so regeneration preserves the trajectory."""
+    if not recorded:
+        return summary
+    seeds = {
+        b["name"]: b.get("seed_min_s")
+        for b in recorded.get("benchmarks", [])
+    }
+    for b in summary["benchmarks"]:
+        seed = seeds.get(b["name"])
+        if seed is not None:
+            b["seed_min_s"] = seed
+            b["speedup_vs_seed"] = round(seed / b["min_s"], 2)
+    return summary
+
+
+def format_comparison(summary: dict, recorded: dict) -> str:
+    """Per-benchmark table of fresh min vs the recorded file's min."""
+    rec = {b["name"]: b for b in recorded.get("benchmarks", [])}
+    lines = [
+        f"{'benchmark':<42} {'recorded':>12} {'fresh':>12} {'speedup':>8}"
+    ]
+    for b in summary["benchmarks"]:
+        old = rec.get(b["name"])
+        if old is None:
+            lines.append(f"{b['name']:<42} {'—':>12} {b['min_s']:>12.3e} {'new':>8}")
+            continue
+        ratio = old["min_s"] / b["min_s"]
+        lines.append(
+            f"{b['name']:<42} {old['min_s']:>12.3e} {b['min_s']:>12.3e} "
+            f"{ratio:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_summary(summary: dict) -> str:
+    lines = [f"{'benchmark':<42} {'min':>12} {'median':>12} {'vs seed':>8}"]
+    for b in summary["benchmarks"]:
+        speedup = b.get("speedup_vs_seed")
+        lines.append(
+            f"{b['name']:<42} {b['min_s']:>12.3e} {b['median_s']:>12.3e} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'—':>8}")
+        )
+    return "\n".join(lines)
+
+
+def load_summary(path: str) -> dict | None:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def write_summary(summary: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")

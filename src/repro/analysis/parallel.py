@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..topology.base import Topology
     from ..traffic.base import TrafficPattern
     from ..traffic.sizes import SizeDistribution
+    from .memo import SweepMemo
     from .sweep import PointResult
 
 #: progress callback: (index, total, result) — invoked in submission order.
@@ -198,6 +199,7 @@ def run_points(
     stop_on_unstable: bool = False,
     speculation: int | None = None,
     progress: ProgressFn | None = None,
+    memo: "SweepMemo | None" = None,
 ) -> list["PointResult"]:
     """Run specs in order, optionally in parallel, collecting ordered results.
 
@@ -208,6 +210,13 @@ def run_points(
     yet started once the first unstable point is known; results for
     cancelled or discarded rates are never returned, so output is identical
     for any worker count.
+
+    ``memo`` (a :class:`~repro.analysis.memo.SweepMemo`) replays memoised
+    points from disk and persists freshly simulated ones.  A spec determines
+    its result exactly (the determinism the oracles enforce), so memoised
+    and simulated results are interchangeable: output is identical with or
+    without the memo, for any worker count.  In parallel mode cache hits
+    never occupy a worker — only misses are dispatched to the pool.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -220,7 +229,11 @@ def run_points(
     results: list["PointResult"] = []
     if workers == 1:
         for i, spec in enumerate(specs):
-            point = run_point(spec)
+            point = memo.get(spec) if memo is not None else None
+            if point is None:
+                point = run_point(spec)
+                if memo is not None:
+                    memo.put(spec, point)
             if progress is not None:
                 progress(i, n, point)
             results.append(point)
@@ -230,22 +243,38 @@ def run_points(
 
     window = workers + speculation
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {i: pool.submit(run_point, specs[i]) for i in range(min(window, n))}
+
+        def submit(i: int):
+            """A memo hit is carried as a plain result, a miss as a future."""
+            if memo is not None:
+                cached = memo.get(specs[i])
+                if cached is not None:
+                    return (cached, None)
+            return (None, pool.submit(run_point, specs[i]))
+
+        futures = {i: submit(i) for i in range(min(window, n))}
         next_submit = len(futures)
         try:
             for i in range(n):
-                point = futures.pop(i).result()
+                cached, fut = futures.pop(i)
+                if fut is None:
+                    point = cached
+                else:
+                    point = fut.result()
+                    if memo is not None:
+                        memo.put(specs[i], point)
                 if progress is not None:
                     progress(i, n, point)
                 results.append(point)
                 if stop_on_unstable and not point.stable:
                     break
                 if next_submit < n:
-                    futures[next_submit] = pool.submit(run_point, specs[next_submit])
+                    futures[next_submit] = submit(next_submit)
                     next_submit += 1
         finally:
-            for f in futures.values():
-                f.cancel()
+            for _, fut in futures.values():
+                if fut is not None:
+                    fut.cancel()
     return results
 
 

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs import TraceOptions
     from ..topology.base import Topology
     from ..traffic.base import TrafficPattern
+    from .memo import SweepMemo
 
 
 @dataclass
@@ -256,6 +257,7 @@ def sweep_load(
     stop_after_unstable: bool = True,
     workers: int | None = None,
     progress: "Callable[[int, int, PointResult], None] | None" = None,
+    memo: "SweepMemo | None" = None,
     **kwargs,
 ) -> SweepResult:
     """Measure a list of offered loads in increasing order.
@@ -271,10 +273,16 @@ def sweep_load(
     worker count (``workers=1`` runs the same spec path serially).
     ``progress`` (spec path only) is called as ``(index, total, point)``
     after each point completes, in rate order.
+
+    ``memo`` (a :class:`~repro.analysis.memo.SweepMemo`) replays previously
+    measured points from disk and persists fresh ones.  The memo rides on
+    the spec path — the same picklable-spec restrictions as ``workers``
+    apply — so ``memo`` without ``workers`` runs the spec path serially.
+    Results are byte-identical with the memo on or off.
     """
     result = SweepResult(algorithm=algorithm.name, pattern=pattern.name)
     ordered = sorted(rates)
-    if workers is None:
+    if workers is None and memo is None:
         for i, rate in enumerate(ordered):
             point = measure_point(topology, algorithm, pattern, rate, **kwargs)
             if progress is not None:
@@ -291,9 +299,10 @@ def sweep_load(
     specs = point_specs(topology, algorithm, pattern, ordered, **kwargs)
     result.points = run_points(
         specs,
-        workers=workers,
+        workers=workers if workers is not None else 1,
         stop_on_unstable=stop_after_unstable,
         progress=progress,
+        memo=memo,
     )
     return result
 
@@ -305,6 +314,7 @@ def saturation_throughput(
     granularity: float = 0.02,
     max_rate: float = 1.0,
     workers: int | None = None,
+    memo: "SweepMemo | None" = None,
     **kwargs,
 ) -> SweepResult:
     """Sweep offered load at fixed granularity until saturation (Fig 6g).
@@ -313,12 +323,26 @@ def saturation_throughput(
     trade precision for wall-clock time.  ``workers=N`` fans the points out
     across processes (see :func:`sweep_load`); rates past the first
     saturated one are dispatched speculatively and discarded.
+
+    ``memo`` warm-starts the search from previously measured points: every
+    memoised rate replays from disk, and the rate ladder is truncated just
+    past the lowest rate the memo already knows to be unstable — an
+    ascending stop-at-first-unstable sweep can never emit a point beyond
+    it, so those rates are not even probed.  The returned curve is
+    byte-identical to a cold run.
     """
     if not 0.0 < granularity <= max_rate:
         raise ValueError("granularity must be in (0, max_rate]")
     steps = int(max_rate / granularity + 1e-9)
     rates = [min(max_rate, round(granularity * i, 9)) for i in range(1, steps + 1)]
+    if memo is not None:
+        from .parallel import point_specs
+
+        specs = point_specs(topology, algorithm, pattern, rates, **kwargs)
+        _, first_unstable = memo.warm_start_bounds(specs)
+        if first_unstable is not None:
+            rates = rates[: first_unstable + 1]
     return sweep_load(
         topology, algorithm, pattern, rates, stop_after_unstable=True,
-        workers=workers, **kwargs
+        workers=workers, memo=memo, **kwargs
     )

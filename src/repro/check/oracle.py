@@ -3,9 +3,11 @@
 The simulator has independently-optimised execution paths that must not be
 able to change results: the parallel sweep engine (worker processes rebuild
 every object from a picklable spec), the per-router route cache (memoised
-candidate lists for stateless algorithms), and the fault layer's
-:class:`~repro.faults.degraded.DegradedTopology` wrapper (which, with an
-*empty* fault set, must be a pure pass-through).  Each oracle here replays
+candidate lists for stateless algorithms), the router's scoring kernel (the
+batched fast weight pass vs the reference scoring loop), and the fault
+layer's :class:`~repro.faults.degraded.DegradedTopology` wrapper (which,
+with an *empty* fault set, must be a pure pass-through).  Each oracle here
+replays
 an identical measurement through two such paths and compares the serialized
 results **byte for byte** — any divergence, however small, is a bug in one
 of the paths.
@@ -143,6 +145,41 @@ def diff_cache_on_off(
     return compare_sweeps("cache-on-vs-off", on, off)
 
 
+def diff_kernel_on_off(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "OmniWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+) -> OracleReport:
+    """Scoring kernel enabled vs the reference scoring loop, byte-identical.
+
+    The router's fast scoring path (``RouterConfig.scoring_kernel``) batches
+    per-candidate congestion reads over the cached candidate skeleton; the
+    reference path is the straightforward ``_allocate_vc`` /
+    ``port_congestion`` / ``route_weight`` call chain.  They must agree on
+    every routing decision — same VC allocation, bit-identical float
+    weights (the kernel keeps the reference's integer denominator and
+    operation order), same tie-break jitter consumption — or downstream
+    event order diverges and this comparison catches it.  Uses an adaptive
+    multi-candidate algorithm so the weight comparison actually
+    discriminates (DOR's single candidate would make it near-vacuous).
+    """
+    cfg_on = default_config()
+    cfg_off = SimConfig(router=RouterConfig(scoring_kernel=False)).validated()
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    on = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed, cfg=cfg_on
+    )
+    t2, a2, p2 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    off = sweep_load(
+        t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed, cfg=cfg_off
+    )
+    return compare_sweeps("kernel-on-vs-off", on, off)
+
+
 def diff_pristine_empty_faultset(
     widths=(4, 4),
     terminals_per_router: int = 1,
@@ -228,6 +265,7 @@ def run_all_oracles(
             workers=workers, faults=faults,
         ),
         diff_cache_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
+        diff_kernel_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
         diff_pristine_empty_faultset(
             widths=widths, rates=rates, total_cycles=total_cycles
         ),

@@ -8,6 +8,7 @@ Commands
 ``faults``    mid-run fault-injection transient (see docs/FAULTS.md)
 ``trace``     flit/packet lifecycle tracing + time series (docs/OBSERVABILITY.md)
 ``check``     runtime-sanitizer self-test + differential oracles (docs/TESTING.md)
+``bench``     simulator perf microbenchmarks; regenerates BENCH_sim.json
 ``list``      available algorithms, patterns, figures, and scales
 
 Every subcommand reports bad flag combinations (and unreadable input
@@ -26,6 +27,7 @@ Examples::
     python -m repro trace --algorithm OmniWAR --rate 0.3 --window 200 --heatmap vc
     python -m repro trace --golden DimWAR --jsonl /tmp/dimwar.jsonl
     python -m repro check
+    python -m repro bench --compare
 """
 
 from __future__ import annotations
@@ -186,6 +188,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="skip the (slower) differential oracles")
 
+    p = sub.add_parser(
+        "bench",
+        help="run the simulator perf microbenchmarks and regenerate "
+        "the recorded summary (docs/SIMULATOR.md, performance notes)",
+    )
+    p.add_argument("--out", default="BENCH_sim.json", metavar="FILE",
+                   help="summary file to regenerate (default: BENCH_sim.json)")
+    p.add_argument("--compare", action="store_true",
+                   help="print speedup vs the recorded file instead of "
+                   "rewriting it")
+    p.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                   help="run a subset of the benchmarks by name")
+
     sub.add_parser("list", help="list algorithms, patterns, figures, scales")
     return parser
 
@@ -337,6 +352,33 @@ def _cmd_trace(args) -> str:
     return "\n".join(out)
 
 
+def _cmd_bench(args) -> str:
+    from .analysis.bench import (
+        format_comparison,
+        format_summary,
+        load_summary,
+        merge_seed_baselines,
+        run_benchmarks,
+        write_summary,
+    )
+
+    recorded = load_summary(args.out)
+    summary = merge_seed_baselines(run_benchmarks(args.only), recorded)
+    if args.compare:
+        if recorded is None:
+            raise ValueError(
+                f"--compare needs a recorded summary at {args.out!r}"
+            )
+        return format_comparison(summary, recorded)
+    if args.only is not None:
+        raise ValueError(
+            "--only times a subset and cannot regenerate the full summary; "
+            "combine it with --compare"
+        )
+    write_summary(summary, args.out)
+    return f"{format_summary(summary)}\n\nwrote {args.out}"
+
+
 def _cmd_list() -> str:
     lines = [
         "algorithms : " + ", ".join(algorithm_names()),
@@ -366,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
             from .check.selftest import run_selftest
 
             return 0 if run_selftest(oracles=not args.quick) else 1
+        elif args.command == "bench":
+            print(_cmd_bench(args))
         elif args.command == "list":
             print(_cmd_list())
     except (ValueError, OSError) as e:

@@ -40,6 +40,11 @@ class RouterConfig:
     #: repro.check differential oracle verifies by replaying runs with this
     #: switched off.
     route_cache: bool = True
+    #: Score cached candidate skeletons with the router's inlined weight
+    #: kernel instead of the reference _allocate_vc/congestion/route_weight
+    #: call chain.  Purely an optimisation — byte-identical results, verified
+    #: by the repro.check kernel-on/off differential oracle.
+    scoring_kernel: bool = True
 
 
 @dataclass

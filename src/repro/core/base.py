@@ -56,23 +56,51 @@ class RouterView(Protocol):
         ...
 
 
-@dataclass(frozen=True)
 class RouteCandidate:
     """One routing option offered by an algorithm at one router.
 
     ``hops`` is the estimated number of router-to-router hops remaining on
     the path *including* the candidate hop itself; multiplied by the local
     congestion estimate it forms the paper's route weight.
+
+    Value semantics (equality, hashing) match the frozen dataclass this
+    class used to be; it is hand-rolled with ``__slots__`` because candidate
+    construction is the cache-fill hot path of every routing decision and
+    the frozen-dataclass ``object.__setattr__`` protocol tripled its cost.
+    Treat instances as immutable — cached candidate lists are shared across
+    routing decisions.
     """
 
-    out_port: int
-    vc_class: int
-    hops: int
-    deroute: bool = False
+    __slots__ = ("out_port", "vc_class", "hops", "deroute")
 
-    def __post_init__(self) -> None:
-        if self.hops < 1:
+    def __init__(self, out_port: int, vc_class: int, hops: int,
+                 deroute: bool = False):
+        if hops < 1:
             raise ValueError("a candidate always includes at least its own hop")
+        self.out_port = out_port
+        self.vc_class = vc_class
+        self.hops = hops
+        self.deroute = deroute
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteCandidate(out_port={self.out_port}, "
+            f"vc_class={self.vc_class}, hops={self.hops}, "
+            f"deroute={self.deroute})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RouteCandidate):
+            return NotImplemented
+        return (
+            self.out_port == other.out_port
+            and self.vc_class == other.vc_class
+            and self.hops == other.hops
+            and self.deroute == other.deroute
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.out_port, self.vc_class, self.hops, self.deroute))
 
 
 @dataclass

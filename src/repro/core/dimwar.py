@@ -57,30 +57,31 @@ class DimWAR(HyperXRouting):
         return (dest_router, on_min_class)
 
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
-        here = self.here(ctx)
-        dest = self.dest_coords(ctx.packet)
+        hx = self.hx
         rid = ctx.router.router_id
-        dim = self.first_unaligned_dim(here, dest)
-        assert dim is not None, "router never routes packets already at destination"
-        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        coords = hx.coords
+        here = coords(rid)
+        dest = coords(ctx.packet.dst_terminal // self._tpr)
+        dim = -1
+        remaining = 0
+        for d in range(hx.num_dims):
+            if here[d] != dest[d]:
+                if dim < 0:
+                    dim = d
+                remaining += 1
+        assert dim >= 0, "router never routes packets already at destination"
         on_min_class = ctx.from_terminal or ctx.input_vc_class == 0
         f = self.routing_faults(rid)
 
-        if f is None:
-            cands = [
-                RouteCandidate(
-                    out_port=self.min_port(rid, dim, dest[dim]),
-                    vc_class=0,
-                    hops=remaining,
-                )
-            ]
+        if f is None:  # pristine fast path: pure table lookups
+            h = here[dim]
+            t = dest[dim]
+            cands = [RouteCandidate(self._min_port_tab[dim][h][t], 0, remaining)]
             if on_min_class:
-                for port in self.deroute_ports(rid, dim, here[dim], dest[dim]):
-                    cands.append(
-                        RouteCandidate(
-                            out_port=port, vc_class=1, hops=remaining + 1, deroute=True
-                        )
-                    )
+                append = cands.append
+                deroute_hops = remaining + 1
+                for port in self._deroute_tab[dim][h][t]:
+                    append(RouteCandidate(port, 1, deroute_hops, True))
             return cands
 
         # Fault path: mask dead ports; escape hops cover the class-1 corner.

@@ -43,6 +43,38 @@ class HyperXRouting(RoutingAlgorithm):
             raise TypeError(f"{type(self).__name__} requires a HyperX topology")
         super().__init__(topology)
         self.hx: HyperX = base
+        self._tpr = base.terminals_per_router
+        # Pre-tabulated geometry (the candidate-construction hot path).
+        # ``dim_port(router, d, c)`` depends on the router only through its
+        # own coordinate in ``d``, so each dimension gets two O(w^2) tables:
+        #   _min_port_tab[d][own][dest]  -> the aligning port (own != dest)
+        #   _deroute_tab[d][own][dest]   -> tuple of lateral (deroute) ports,
+        #                                   excluding own and dest
+        # and every router-facing port maps to its dimension via
+        # _port_dim_tab[port].  The tables are tiny (sum of w_d^2 entries)
+        # and make candidates() table lookups instead of arithmetic + calls.
+        self._min_port_tab: list[list[list[int]]] = []
+        self._deroute_tab: list[list[list[tuple[int, ...]]]] = []
+        for d, w in enumerate(base.widths):
+            off = base._dim_offset[d]
+            min_t = [[0] * w for _ in range(w)]
+            der_t: list[list[tuple[int, ...]]] = [[()] * w for _ in range(w)]
+            for own in range(w):
+                for dest in range(w):
+                    if dest != own:
+                        min_t[own][dest] = off + (dest if dest < own else dest - 1)
+                    der_t[own][dest] = tuple(
+                        off + (c if c < own else c - 1)
+                        for c in range(w)
+                        if c != own and c != dest
+                    )
+            self._min_port_tab.append(min_t)
+            self._deroute_tab.append(der_t)
+        self._port_dim_tab: list[int] = [
+            d
+            for d, w in enumerate(base.widths)
+            for _ in range(w - 1)
+        ]
 
     # -- geometry ------------------------------------------------------
 
@@ -60,22 +92,17 @@ class HyperXRouting(RoutingAlgorithm):
 
     def min_port(self, router_id: int, dim: int, dest_coord: int) -> int:
         """Port taking the single aligning hop in ``dim``."""
-        return self.hx.dim_port(router_id, dim, dest_coord)
+        return self._min_port_tab[dim][self.hx.coords(router_id)[dim]][dest_coord]
 
     def deroute_ports(
         self, router_id: int, dim: int, here_coord: int, dest_coord: int
-    ) -> list[int]:
+    ) -> tuple[int, ...]:
         """Ports for lateral (deroute) moves within an unaligned ``dim``.
 
         Excludes the current coordinate (no self loop) and the destination
         coordinate (that hop would be minimal, not a deroute).
         """
-        w = self.hx.widths[dim]
-        return [
-            self.hx.dim_port(router_id, dim, c)
-            for c in range(w)
-            if c != here_coord and c != dest_coord
-        ]
+        return self._deroute_tab[dim][here_coord][dest_coord]
 
     # -- DOR helpers ----------------------------------------------------
 

@@ -68,16 +68,20 @@ class OmniWAR(HyperXRouting):
         # back-to-back restriction the input port's dimension also matters.
         klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
         if self.restrict_back_to_back and not ctx.from_terminal:
-            input_dim = self.hx.port_dim(ctx.router.router_id, ctx.input_port)
-            return (dest_router, klass, input_dim)
+            return (dest_router, klass, self._port_dim_tab[ctx.input_port])
         return (dest_router, klass)
 
     def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
-        here = self.here(ctx)
-        dest = self.dest_coords(ctx.packet)
+        hx = self.hx
         rid = ctx.router.router_id
+        coords = hx.coords
+        here = coords(rid)
+        dest = coords(ctx.packet.dst_terminal // self._tpr)
         klass = 0 if ctx.from_terminal else ctx.input_vc_class + 1
-        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        remaining = 0
+        for a, b in zip(here, dest):
+            if a != b:
+                remaining += 1
         classes_left = self.num_classes - klass
         assert remaining <= classes_left, (
             "distance-class invariant violated: not enough classes left to "
@@ -89,37 +93,36 @@ class OmniWAR(HyperXRouting):
 
         input_dim = None
         if self.restrict_back_to_back and not ctx.from_terminal:
-            input_dim = self.hx.port_dim(rid, ctx.input_port)
+            input_dim = self._port_dim_tab[ctx.input_port]
 
         f = self.routing_faults(rid)
-        masking = f is not None
+        min_tab = self._min_port_tab
+        der_tab = self._deroute_tab
         cands: list[RouteCandidate] = []
-        for d in range(self.hx.num_dims):
+        append = cands.append
+        if f is None:  # pristine fast path: pure table lookups
+            deroute_hops = remaining + 1
+            for d in range(hx.num_dims):
+                h = here[d]
+                t = dest[d]
+                if h == t:
+                    continue  # only unaligned dimensions are valid (step 3)
+                append(RouteCandidate(min_tab[d][h][t], klass, remaining))
+                if may_deroute and d != input_dim:
+                    for port in der_tab[d][h][t]:
+                        append(RouteCandidate(port, klass, deroute_hops, True))
+            return cands
+
+        # Fault path: mask dead ports, filter deroutes to viable survivors.
+        for d in range(hx.num_dims):
             if here[d] == dest[d]:
-                continue  # only unaligned dimensions are valid (step 3)
-            min_port = self.min_port(rid, d, dest[d])
-            if masking and (rid, min_port) in f.failed_ports:
+                continue
+            min_port = min_tab[d][here[d]][dest[d]]
+            if (rid, min_port) in f.failed_ports:
                 f.masked_candidates += 1
             else:
-                cands.append(
-                    RouteCandidate(
-                        out_port=min_port,
-                        vc_class=klass,
-                        hops=remaining,
-                    )
-                )
+                append(RouteCandidate(min_port, klass, remaining))
             if may_deroute and d != input_dim:
-                if masking:
-                    ports = self.viable_deroute_ports(rid, d, here[d], dest[d])
-                else:
-                    ports = self.deroute_ports(rid, d, here[d], dest[d])
-                for port in ports:
-                    cands.append(
-                        RouteCandidate(
-                            out_port=port,
-                            vc_class=klass,
-                            hops=remaining + 1,
-                            deroute=True,
-                        )
-                    )
+                for port in self.viable_deroute_ports(rid, d, here[d], dest[d]):
+                    append(RouteCandidate(port, klass, remaining + 1, True))
         return cands

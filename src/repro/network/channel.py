@@ -31,7 +31,7 @@ class Channel:
     per cycle (``limit_rate=False``).
     """
 
-    __slots__ = ("latency", "name", "limit_rate", "min_gap", "_pipe", "_sink", "_last_push_cycle", "utilization_count", "_active_set")
+    __slots__ = ("latency", "name", "limit_rate", "min_gap", "_pipe", "_sink", "_last_push_cycle", "utilization_count", "_active_set", "_next_ready")
 
     def __init__(
         self,
@@ -53,6 +53,13 @@ class Channel:
         self._pipe: deque[tuple[int, Any]] = deque()
         self._last_push_cycle = -1
         self.utilization_count = 0  # items ever pushed (for link-utilization stats)
+        #: lower bound on the head item's delivery cycle — the simulator's
+        #: delivery loop skips the channel without touching the pipe while
+        #: ``cycle < _next_ready``.  Set exactly on the empty->busy push
+        #: transition and refreshed after each delivery pass; pops by other
+        #: consumers (the obs profiler's own loop, :meth:`deliver`) can only
+        #: raise the true head ready-cycle, so the bound stays conservative.
+        self._next_ready = 0
         #: activity registry (dict used as an ordered set) shared with the
         #: owning network; None for standalone channels driven directly.
         self._active_set: dict["Channel", None] | None = None
@@ -66,9 +73,12 @@ class Channel:
                 )
             self._last_push_cycle = cycle
         self.utilization_count += 1
-        if not self._pipe and self._active_set is not None:
-            self._active_set[self] = None
-        self._pipe.append((cycle + self.latency, item))
+        ready = cycle + self.latency
+        if not self._pipe:
+            self._next_ready = ready
+            if self._active_set is not None:
+                self._active_set[self] = None
+        self._pipe.append((ready, item))
 
     def deliver(self, cycle: int) -> None:
         """Hand every item whose latency has elapsed to the sink."""
@@ -76,6 +86,8 @@ class Channel:
         while pipe and pipe[0][0] <= cycle:
             _, item = pipe.popleft()
             self._sink(item)
+        if pipe:
+            self._next_ready = pipe[0][0]
 
     @property
     def in_flight(self) -> int:

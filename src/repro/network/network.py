@@ -217,13 +217,19 @@ class Network:
         )
 
     def invalidate_route_caches(self) -> None:
-        """Drop every router's memoised candidate lists.
+        """Drop every router's memoised candidate skeletons.
 
         Called by the fault injector when the fault state's epoch changes:
-        cached candidate lists may reference ports that just failed.
+        cached candidate lists may reference ports that just failed.  The
+        output-stage ready bounds are reset too — a fault event may rewrite
+        a channel's ``min_gap``, invalidating bounds derived from the old
+        value.
         """
         for r in self.routers:
             r._route_cache.clear()
+            ready = r._stage_ready
+            for p in range(len(ready)):
+                ready[p] = 0
 
     def validate_wiring(self) -> None:
         """Check construction invariants; raises ``AssertionError``.

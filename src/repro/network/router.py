@@ -23,6 +23,7 @@ to congestion at every hop.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import TYPE_CHECKING
 
@@ -96,6 +97,9 @@ class Router:
         # Output side.
         self.credit_trackers: list[CreditTracker | None] = [None] * self.radix
         self.out_channels: list[Channel | None] = [None] * self.radix
+        # Preresolved (channel, staged-queues, live-VC list) per wired output
+        # port; the _active_out values the output pass works from.
+        self._out_ent: list[tuple | None] = [None] * self.radix
         self.out_vc_owner: list[list[int | None]] = [
             [None] * self.num_vcs for _ in range(self.radix)
         ]
@@ -105,9 +109,14 @@ class Router:
         ]
         self._staged_count = [0] * self.radix
 
-        # Active-set bookkeeping (dicts preserve deterministic insertion order).
-        self._active_in: dict[tuple[int, int], bool] = {}
-        self._active_out: dict[int, bool] = {}
+        # Active-set bookkeeping (dicts preserve deterministic insertion
+        # order).  _active_in maps (port, vc) -> (VcState, fifo, port, vc),
+        # the preresolved entry the input pass works from (built once per
+        # input port by make_flit_sink).
+        self._active_in: dict[tuple[int, int], tuple] = {}
+        # _active_out maps port -> (channel, staged queues, live-VC list),
+        # the preresolved entry built by attach_output.
+        self._active_out: dict[int, tuple] = {}
 
         # Sequential allocation (Section 4.1): flits committed by routing
         # decisions earlier in the SAME cycle, visible to later decisions.
@@ -135,7 +144,12 @@ class Router:
         self._vcs_of = [vc_map.vcs_of(k) for k in range(vc_map.num_classes)]
         self._class_of = [vc_map.class_of(v) for v in range(self.num_vcs)]
         self._is_term_port = [p in self.terminal_ports for p in range(self.radix)]
-        self._router_of_term = topology.router_of_terminal
+        # Destination router per terminal, tabulated: _compute_route resolves
+        # the dest router with one list index instead of a topology call per
+        # routing decision.
+        self._dest_router = [
+            topology.router_of_terminal(t) for t in range(topology.num_terminals)
+        ]
 
         # Per-cycle scratch, allocated once and reset sparsely via the
         # touched lists (see _step_inputs).
@@ -148,15 +162,52 @@ class Router:
         self._jitter: list[float] = rng.random(4096).tolist()
         self._jitter_idx = 0
 
-        # Memoised candidate lists for stateless algorithms (see
-        # RoutingAlgorithm.cache_key).  Bounded so long paper-scale runs
-        # cannot grow it without limit; on overflow new keys are simply not
-        # inserted (hits keep being served).  A cap of 0 (cfg.router.
-        # route_cache = False) disables memoisation entirely — the
-        # differential oracle in repro.check replays runs cache-on vs
-        # cache-off and asserts identical results.
+        # Memoised candidate *skeletons* for stateless algorithms (see
+        # RoutingAlgorithm.cache_key and _build_skeleton): each entry
+        # pre-resolves, per candidate, everything the scoring loop needs —
+        # hops, the VC group of its class, and the output port's credit
+        # tracker / VC-owner list / staged queues — so a cache hit scores
+        # congestion x precomputed-hops without re-deriving any of it.
+        # Bounded so paper-scale runs stay bounded; on overflow the oldest
+        # key is evicted in insertion (clock) order, O(1) and with zero
+        # bookkeeping on the hit path.  A cap of 0 (cfg.router.route_cache
+        # = False) disables memoisation entirely — the differential oracle
+        # in repro.check replays runs cache-on vs cache-off and asserts
+        # identical results.
         self._route_cache: dict = {}
         self._route_cache_cap = 8192 if rc.route_cache else 0
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self.route_cache_evictions = 0
+
+        # Scoring fast path (cfg.router.scoring_kernel): score cached
+        # skeletons with an inlined weight pass instead of the reference
+        # _allocate_vc/port_congestion/route_weight call chain.  Both paths
+        # are algebraically identical; `python -m repro check` proves them
+        # byte-identical by replaying sweeps kernel-on vs kernel-off.
+        self._scoring_kernel = rc.scoring_kernel
+        self._est_inline = rc.congestion_mode == "credit_queue"
+        self._port_denom = self.num_vcs * rc.buffer_depth
+
+        # Event-driven stage scheduling (see _step_inputs/_step_outputs):
+        # an input VC whose committed route is blocked on downstream credits
+        # goes to sleep and is woken by the credit sink the cycle the credit
+        # returns; per output port, only VCs with staged payload are scanned
+        # and a port whose staged heads are all still in the crossbar (or
+        # whose degraded link is in its min_gap window) is skipped until
+        # `_stage_ready`.
+        self._asleep: set[tuple[int, int]] = set()
+        self._credit_waiter: list[list[tuple[int, int] | None]] = [
+            [None] * self.num_vcs for _ in range(self.radix)
+        ]
+        self._staged_live: list[list[int]] = [[] for _ in range(self.radix)]
+        self._stage_ready = [0] * self.radix
+        # Reusable deferred-deletion scratch for the step loops: marking dead
+        # keys and deleting after the pass lets the loops iterate the active
+        # dicts directly instead of copying them every cycle (nothing inserts
+        # into these dicts during the compute phase).
+        self._dead_in: list[tuple[int, int]] = []
+        self._dead_out: list[int] = []
 
         # Route observation hooks (repro.check VC-legality sanitizer,
         # repro.obs tracer): registered via add_route_hook(), called as
@@ -168,7 +219,7 @@ class Router:
         # decision when disabled.
         self._route_hook = None
         self._route_hooks: list = []
-        # Switch-allocation observation hook: fired from _try_forward as
+        # Switch-allocation observation hook: fired from _step_inputs as
         # (cycle, router, in_port, in_vc, out_port, out_vc, flit) every time
         # a flit crosses the crossbar into the staged output queue.
         self._forward_hook = None
@@ -186,6 +237,7 @@ class Router:
     def attach_output(self, port: int, data: Channel, credits: CreditTracker) -> None:
         self.out_channels[port] = data
         self.credit_trackers[port] = credits
+        self._out_ent[port] = (data, self.staged[port], self._staged_live[port])
 
     def attach_credit_return(self, port: int, channel: Channel) -> None:
         self._credit_return[port] = channel
@@ -232,24 +284,61 @@ class Router:
     # ------------------------------------------------------------------
 
     def make_flit_sink(self, port: int):
-        inputs = self.inputs[port]
+        vcs = self.inputs[port].vcs
+        depth = self.inputs[port].depth
         active = self._active_in
         wake = self._wake_registry
+        # Interned (port, vc) keys and preresolved work entries: the input
+        # pass unpacks (state, fifo, port, vc) straight from the active-set
+        # value instead of re-indexing inputs[port].vcs[vc] per cycle.
+        keys = [(port, v) for v in range(self.num_vcs)]
+        ents = [(vcs[v], vcs[v].fifo, port, v) for v in range(self.num_vcs)]
+
+        fifos = [vcs[v].fifo for v in range(self.num_vcs)]
 
         def sink(item: tuple[int, Flit]) -> None:
+            # InputUnit.receive inlined (per-flit hot path).
             vc, flit = item
-            inputs.receive(vc, flit)
-            active[(port, vc)] = True
-            wake[self] = None
+            fifo = fifos[vc]
+            n = len(fifo)
+            if n >= depth:
+                raise RuntimeError(
+                    f"buffer overflow on VC {vc}: credit protocol violated"
+                )
+            fifo.append(flit)
+            if n == 0:
+                # Empty->busy transition; a non-empty FIFO implies the key
+                # is already registered (and the router already awake), and
+                # a dict re-assignment would not move it anyway.
+                active[keys[vc]] = ents[vc]
+                wake[self] = None
 
         return sink
 
     def make_credit_sink(self, port: int):
-        """Sink for credits (bare VC ids) returned downstream of ``port``."""
+        """Sink for credits (bare VC ids) returned downstream of ``port``.
+
+        Doubles as the wake-up path for event-driven input scheduling: an
+        input VC that went to sleep blocked on this (port, vc) credit is
+        re-armed the moment the credit returns — the same cycle the polling
+        implementation would have succeeded, since credits are delivered in
+        the channel phase before routers step.
+        """
         tracker_ref = self.credit_trackers
+        waiters = self._credit_waiter[port]
+        asleep = self._asleep
 
         def sink(vc: int) -> None:
-            tracker_ref[port].restore(vc)
+            # CreditTracker.restore inlined (per-flit hot path).
+            tracker = tracker_ref[port]
+            if tracker.credits[vc] >= tracker.depth:
+                raise RuntimeError(f"credit overflow on VC {vc}")
+            tracker.credits[vc] += 1
+            tracker.occupied_total -= 1
+            k = waiters[vc]
+            if k is not None:
+                waiters[vc] = None
+                asleep.discard(k)
 
         return sink
 
@@ -285,7 +374,11 @@ class Router:
     # ------------------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        if self._active_in:
+        # Sleeping input VCs (blocked on downstream credits) stay in
+        # _active_in so the router keeps stepping, but when *every* active
+        # entry is asleep the whole input pass is a no-op and is skipped.
+        active_in = self._active_in
+        if active_in and len(self._asleep) < len(active_in):
             self._step_inputs(cycle)
         if self._active_out:
             self._step_outputs(cycle)
@@ -309,18 +402,36 @@ class Router:
                 for p in ct:
                     pc[p] = 0
                 ct.clear()
-        inputs = self.inputs
         active = self._active_in
-        for key in list(active):
-            port, vc = key
-            state = inputs[port].vcs[vc]
-            if not state.fifo:
-                del active[key]
+        asleep = self._asleep
+        trackers = self.credit_trackers
+        staged_count = self._staged_count
+        stage_cap = self._stage_cap
+        xbar_lat = self._xbar_lat
+        staged = self.staged
+        staged_live = self._staged_live
+        active_out = self._active_out
+        out_ents = self._out_ent
+        credit_return = self._credit_return
+        forward_hook = self._forward_hook
+        dead = self._dead_in
+        forwarded = 0
+        # Keys enter _asleep only from inside this loop, and a key just put
+        # to sleep is never revisited in the same pass — so when the set is
+        # empty at loop entry the membership test can be skipped entirely.
+        check_asleep = bool(asleep)
+        for key, ent in active.items():
+            if check_asleep and key in asleep:
+                continue  # blocked on credits; the credit sink wakes it
+            state, fifo, port, vc = ent
+            if not fifo:
+                dead.append(key)
                 continue
             if budget[port] >= speedup:
                 continue
-            head = state.fifo[0]
-            if state.route is None:
+            route = state.route
+            if route is None:
+                head = fifo[0]
                 if not head.is_head:
                     raise RuntimeError("non-head flit with no route: VC protocol bug")
                 route = self._compute_route(cycle, port, vc, head)
@@ -328,64 +439,136 @@ class Router:
                     self.route_stalls += 1
                     continue
                 state.route = route
-            self._try_forward(cycle, port, vc, state)
-
-    def _try_forward(self, cycle, port, vc, state) -> None:
-        route = state.route
-        out_port, out_vc = route.out_port, route.out_vc
-        tracker = self.credit_trackers[out_port]
-        if tracker.credits[out_vc] <= 0:
-            return
-        if self._staged_count[out_port] >= self._stage_cap:
-            return
-        flit = state.fifo.popleft()
-        tracker.consume(out_vc)
-        self.staged[out_port][out_vc].append((cycle + self._xbar_lat, flit))
-        self._staged_count[out_port] += 1
-        self._active_out[out_port] = True
-        self.flits_forwarded += 1
-        budget = self._port_budget
-        if budget[port] == 0:
-            self._budget_touched.append(port)
-        budget[port] += 1
-        # Return a credit (bare VC id) upstream for the freed input slot.
-        cr = self._credit_return[port]
-        if cr is not None:
-            cr.push(cycle, vc)
-        hook = self._forward_hook
-        if hook is not None:
-            hook(cycle, self, port, vc, out_port, out_vc, flit)
-        if flit.index == flit.packet.size - 1:  # tail flit
-            self.out_vc_owner[out_port][out_vc] = None
-            state.route = None
-        if not state.fifo:
-            self._active_in.pop((port, vc), None)
+            # Switch allocation + crossbar traversal, inlined (this is the
+            # per-flit hot path; it was a _try_forward method once).
+            out_port = route.out_port
+            out_vc = route.out_vc
+            tracker = trackers[out_port]
+            if tracker.credits[out_vc] <= 0:
+                # Sleep until the credit sink restores this exact (port, VC).
+                # The single waiter slot is sound because an output VC is
+                # owned by exactly one in-flight packet (wormhole VC
+                # allocation).
+                self._credit_waiter[out_port][out_vc] = key
+                asleep.add(key)
+                continue
+            sc = staged_count[out_port]
+            if sc >= stage_cap:
+                continue  # frees locally via _step_outputs; keep polling
+            flit = fifo.popleft()
+            # CreditTracker.consume inlined; the underflow check is the
+            # credit test a few lines up.
+            tracker.credits[out_vc] -= 1
+            tracker.occupied_total += 1
+            sq = staged[out_port][out_vc]
+            if not sq:
+                insort(staged_live[out_port], out_vc)
+            sq.append((cycle + xbar_lat, flit))
+            staged_count[out_port] = sc + 1
+            if sc == 0:
+                # Empty->busy transition: register the port.  Re-assigning
+                # an already-present key never moves it in a dict, so
+                # storing only on the transition leaves the (deterministic)
+                # port iteration order exactly as before.
+                active_out[out_port] = out_ents[out_port]
+            forwarded += 1
+            if budget[port] == 0:
+                touched.append(port)
+            budget[port] += 1
+            # Return a credit (bare VC id) upstream for the freed input slot
+            # (Channel.push inlined; credit channels are not rate limited).
+            cr = credit_return[port]
+            if cr is not None:
+                if cr.limit_rate:
+                    if cycle <= cr._last_push_cycle:
+                        raise RuntimeError(
+                            f"channel {cr.name!r} pushed twice in cycle {cycle}"
+                        )
+                    cr._last_push_cycle = cycle
+                cr.utilization_count += 1
+                ready = cycle + cr.latency
+                pipe = cr._pipe
+                if not pipe:
+                    cr._next_ready = ready
+                    if cr._active_set is not None:
+                        cr._active_set[cr] = None
+                pipe.append((ready, vc))
+            if forward_hook is not None:
+                forward_hook(cycle, self, port, vc, out_port, out_vc, flit)
+            if flit.index == flit.packet.size - 1:  # tail flit
+                self.out_vc_owner[out_port][out_vc] = None
+                state.route = None
+            if not fifo:
+                dead.append(key)
+        if forwarded:
+            self.flits_forwarded += forwarded
+        if dead:
+            for key in dead:
+                del active[key]
+            dead.clear()
 
     def _step_outputs(self, cycle: int) -> None:
         staged_count = self._staged_count
         active = self._active_out
-        for port in list(active):
+        stage_ready = self._stage_ready
+        dead = self._dead_out
+        age = self._age_arbitration
+        for port, ent in active.items():
             if staged_count[port] == 0:
-                del active[port]
+                dead.append(port)
                 continue
-            ch = self.out_channels[port]
+            # Event-driven skip: _stage_ready holds a proven lower bound on
+            # the next cycle this port can emit (earliest staged head still
+            # in the crossbar, or the end of a degraded link's min_gap
+            # window).  The bound stays valid under pushes because a newly
+            # staged flit is never ready earlier than heads staged before it.
+            if cycle < stage_ready[port]:
+                continue
+            ch, staged, live = ent
             # Degraded-bandwidth link (fault injection): at most one flit
             # every min_gap cycles.  Healthy channels short-circuit on the
             # first comparison.
             if ch.min_gap > 1 and cycle - ch._last_push_cycle < ch.min_gap:
+                stage_ready[port] = ch._last_push_cycle + ch.min_gap
                 continue
-            staged = self.staged[port]
             best_vc = -1
-            if self._age_arbitration:
-                best_key = None
-                for v, q in enumerate(staged):
-                    if q:
-                        ready, flit = q[0]
+            if age:
+                if len(live) == 1:
+                    # Overwhelmingly common under load: one VC with staged
+                    # payload — no arbitration, just the crossbar-exit check.
+                    v = live[0]
+                    if staged[v][0][0] > cycle:
+                        stage_ready[port] = staged[v][0][0]
+                        continue
+                    best_vc = v
+                else:
+                    # Age arbitration over the live VCs' ready heads.  The
+                    # (create_cycle, pid) age key is compared as two ints to
+                    # avoid a tuple per candidate; pids are unique so the
+                    # lexicographic order is total.
+                    bc = bp = 0
+                    next_ready = -1
+                    for v in live:
+                        ready, flit = staged[v][0]
                         if ready <= cycle:
-                            k = flit.packet.age_key
-                            if best_key is None or k < best_key:
-                                best_key = k
+                            p = flit.packet
+                            c = p.create_cycle
+                            if (
+                                best_vc < 0
+                                or c < bc
+                                or (c == bc and p.pid < bp)
+                            ):
+                                bc = c
+                                bp = p.pid
                                 best_vc = v
+                        elif next_ready < 0 or ready < next_ready:
+                            next_ready = ready
+                    if best_vc < 0:
+                        # Every staged head is still in the crossbar: sleep
+                        # the port until the earliest one emerges.
+                        if next_ready > 0:
+                            stage_ready[port] = next_ready
+                        continue
             else:  # round-robin over VCs with a ready head flit
                 base = self._rr_next[port]
                 for off in range(self.num_vcs):
@@ -395,13 +578,34 @@ class Router:
                         best_vc = v
                         self._rr_next[port] = (v + 1) % self.num_vcs
                         break
-            if best_vc < 0:
-                continue  # nothing past the crossbar yet this cycle
-            _, flit = staged[best_vc].popleft()
+                if best_vc < 0:
+                    continue  # nothing past the crossbar yet this cycle
+            q = staged[best_vc]
+            _, flit = q.popleft()
+            if not q:
+                live.remove(best_vc)
             staged_count[port] -= 1
-            ch.push(cycle, (best_vc, flit))
+            # Channel.push inlined (per-flit hot path).
+            if ch.limit_rate:
+                if cycle <= ch._last_push_cycle:
+                    raise RuntimeError(
+                        f"channel {ch.name!r} pushed twice in cycle {cycle}"
+                    )
+                ch._last_push_cycle = cycle
+            ch.utilization_count += 1
+            ready = cycle + ch.latency
+            pipe = ch._pipe
+            if not pipe:
+                ch._next_ready = ready
+                if ch._active_set is not None:
+                    ch._active_set[ch] = None
+            pipe.append((ready, (best_vc, flit)))
             if staged_count[port] == 0:
+                dead.append(port)
+        if dead:
+            for port in dead:
                 del active[port]
+            dead.clear()
 
     # ------------------------------------------------------------------
     # Route computation
@@ -410,7 +614,7 @@ class Router:
     def _compute_route(self, cycle: int, port: int, vc: int, head: Flit) -> VcRoute | None:
         packet = head.packet
         self.routes_computed += 1
-        dest_router = self._router_of_term(packet.dst_terminal)
+        dest_router = self._dest_router[packet.dst_terminal]
         if dest_router == self.router_id:
             return self._route_ejection(port, vc, packet)
 
@@ -425,18 +629,145 @@ class Router:
         algorithm = self.algorithm
         ck = algorithm.cache_key(ctx, dest_router)
         if ck is None:
+            # Stateful (uncacheable) algorithm: no skeleton to amortise, so
+            # score straight off the candidate list with the reference loop.
             cands = algorithm.candidates(ctx)
+            if not cands:
+                raise NoRouteError(
+                    f"{algorithm.name} returned no candidates at router "
+                    f"{self.router_id} for packet {packet.pid}"
+                )
+            return self._choose_reference(cycle, port, vc, ctx, cands)
+        cache = self._route_cache
+        skel = cache.get(ck)
+        if skel is None:
+            self.route_cache_misses += 1
+            cands = algorithm.candidates(ctx)
+            if not cands:
+                raise NoRouteError(
+                    f"{algorithm.name} returned no candidates at router "
+                    f"{self.router_id} for packet {packet.pid}"
+                )
+            skel = self._build_skeleton(cands)
+            if self._route_cache_cap:
+                if len(cache) >= self._route_cache_cap:
+                    del cache[next(iter(cache))]
+                    self.route_cache_evictions += 1
+                cache[ck] = skel
         else:
-            cands = self._route_cache.get(ck)
-            if cands is None:
-                cands = algorithm.candidates(ctx)
-                if len(self._route_cache) < self._route_cache_cap:
-                    self._route_cache[ck] = cands
-        if not cands:
-            raise NoRouteError(
-                f"{algorithm.name} returned no candidates at router "
-                f"{self.router_id} for packet {packet.pid}"
+            self.route_cache_hits += 1
+        if self._scoring_kernel:
+            return self._choose_fast(cycle, port, vc, ctx, skel)
+        return self._choose_reference(cycle, port, vc, ctx, [e[0] for e in skel])
+
+    def _build_skeleton(self, cands: list[RouteCandidate]) -> list[tuple]:
+        """Pre-resolve everything the scoring loop reads per candidate.
+
+        Built once per cache fill; the referenced trackers / owner lists /
+        staged queues are the router's own long-lived mutable objects, so a
+        cached skeleton always observes current congestion state.
+        """
+        vcs_of = self._vcs_of
+        trackers = self.credit_trackers
+        owners = self.out_vc_owner
+        staged = self.staged
+        return [
+            (
+                c,
+                c.out_port,
+                vcs_of[c.vc_class],
+                c.hops,
+                trackers[c.out_port],
+                owners[c.out_port],
+                staged[c.out_port],
             )
+            for c in cands
+        ]
+
+    def _choose_fast(self, cycle: int, port: int, vc: int, ctx: RouteContext,
+                     skel: list[tuple]) -> VcRoute | None:
+        """Scoring kernel: one batched weight pass over a skeleton.
+
+        Algebraically identical to _choose_reference — same VC allocation
+        scan, the same (occ + stg) / (group * depth) congestion estimate
+        with the same integer denominator (so the floats match bit-for-bit),
+        the same (congestion + bias) * hops weight, and the same jitter
+        consumption (one draw per *feasible* candidate) — with every
+        attribute chain and function call hoisted out of the loop.
+        """
+        port_scope = self._port_scope
+        seq = self._sequential
+        pending = self._pending_commit
+        staged_count = self._staged_count
+        est = self._estimator
+        inline_cq = self._est_inline
+        denom = self._port_denom
+        depth = self._buffer_depth
+        nv = self.num_vcs
+        jitter = self._jitter
+        jidx = self._jitter_idx
+        hook = self._route_hook
+        scored: list | None = [] if hook is not None else None
+        best_cand: RouteCandidate | None = None
+        best_out_vc = -1
+        best_w = best_j = 0.0
+        for cand, out_port, vcs, hops, tracker, owner, staged in skel:
+            credits = tracker.credits
+            best_vc = -1
+            bc = 0
+            for v in vcs:
+                if owner[v] is None:
+                    c = credits[v]
+                    if c > bc:
+                        bc = c
+                        best_vc = v
+            if best_vc < 0:
+                if scored is not None:
+                    scored.append((cand, None, None))
+                continue
+            if port_scope:
+                occ = tracker.occupied_total
+                stg = staged_count[out_port]
+                if seq:
+                    stg += pending[out_port]
+                if inline_cq:
+                    w = ((occ + stg) / denom + 1.0) * hops
+                else:
+                    w = (est(occ, stg, nv, depth) + 1.0) * hops
+            else:
+                occ = 0
+                stg = 0
+                for v in vcs:
+                    occ += depth - credits[v]
+                    stg += len(staged[v])
+                if seq:
+                    stg += pending[out_port]
+                if inline_cq:
+                    w = ((occ + stg) / (len(vcs) * depth) + 1.0) * hops
+                else:
+                    w = (est(occ, stg, len(vcs), depth) + 1.0) * hops
+            j = jitter[jidx]
+            jidx = (jidx + 1) & 4095
+            if scored is not None:
+                scored.append((cand, best_vc, w))
+            if best_cand is None or w < best_w or (w == best_w and j < best_j):
+                best_cand = cand
+                best_out_vc = best_vc
+                best_w = w
+                best_j = j
+        self._jitter_idx = jidx
+        if best_cand is None:
+            return None
+        return self._commit_choice(cycle, port, vc, ctx, best_cand,
+                                   best_out_vc, scored)
+
+    def _choose_reference(self, cycle: int, port: int, vc: int,
+                          ctx: RouteContext,
+                          cands: list[RouteCandidate]) -> VcRoute | None:
+        """Reference scoring loop (scoring_kernel = False and uncacheable
+        algorithms): the straightforward _allocate_vc / port_congestion /
+        route_weight call chain the kernel is checked against."""
+        packet = ctx.packet
         port_scope = self._port_scope
         jitter = self._jitter
         jidx = self._jitter_idx
@@ -471,8 +802,15 @@ class Router:
         self._jitter_idx = jidx
         if best_cand is None:
             return None
-        cand, out_vc = best_cand, best_out_vc
-        algorithm.commit(ctx, cand)
+        return self._commit_choice(cycle, port, vc, ctx, best_cand,
+                                   best_out_vc, scored)
+
+    def _commit_choice(self, cycle: int, port: int, vc: int,
+                       ctx: RouteContext, cand: RouteCandidate, out_vc: int,
+                       scored: list | None) -> VcRoute:
+        """Shared dispatch tail: commit, ownership, telemetry, hooks."""
+        packet = ctx.packet
+        self.algorithm.commit(ctx, cand)
         self.out_vc_owner[cand.out_port][out_vc] = packet.pid
         if self._sequential:
             if self._pending_commit[cand.out_port] == 0:
@@ -487,6 +825,7 @@ class Router:
                 packet.port_trace = []
             packet.vc_trace.append(out_vc)
             packet.port_trace.append(cand.out_port)
+        hook = self._route_hook
         if hook is not None:
             hook(cycle, self, port, vc, ctx, cand, out_vc, scored)
         return VcRoute(cand.out_port, out_vc, packet.pid, cand.deroute)
@@ -516,6 +855,10 @@ class Router:
                 if head is None or not head.is_head or head.index != 0:
                     continue  # transfer started (or head already moved on): drain
                 self.out_vc_owner[route.out_port][route.out_vc] = None
+                # The revoked route may be asleep waiting on a credit that
+                # will never matter again; wake it so the re-route runs.
+                self._credit_waiter[route.out_port][route.out_vc] = None
+                self._asleep.discard((port, vc))
                 state.route = None
                 packet = head.packet
                 packet.hops -= 1
@@ -524,7 +867,7 @@ class Router:
                 if self._track_vc_trace and packet.vc_trace:
                     packet.vc_trace.pop()
                     packet.port_trace.pop()
-                self._active_in[(port, vc)] = True
+                self._active_in[(port, vc)] = (state, state.fifo, port, vc)
                 self._wake_registry[self] = None
                 revoked += 1
         return revoked

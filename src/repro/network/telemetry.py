@@ -132,6 +132,33 @@ class TelemetryProbe:
         return max(loads) / mean
 
     # ------------------------------------------------------------------
+    # Route-cache telemetry
+    # ------------------------------------------------------------------
+
+    def route_cache_stats(self) -> dict[str, float]:
+        """Aggregate route-cache counters across every router.
+
+        ``hits``/``misses`` count candidate-skeleton lookups by cacheable
+        algorithms (stateful algorithms bypass the cache entirely and count
+        in neither); ``evictions`` counts capacity evictions — nonzero means
+        the working set of ``(destination, input-class)`` keys exceeded the
+        per-router cap and the oldest entries were recycled.  ``hit_rate``
+        is hits over lookups (0.0 before any lookup happens).
+        """
+        hits = misses = evictions = 0
+        for r in self.network.routers:
+            hits += r.route_cache_hits
+            misses += r.route_cache_misses
+            evictions += r.route_cache_evictions
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
+
+    # ------------------------------------------------------------------
     # Fault telemetry
     # ------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ virtual channel drawn from the routing algorithm's injection classes.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
@@ -73,6 +74,9 @@ class Terminal:
         # Buffered receive-flit count: makes the hot idle check O(1) instead
         # of scanning every VC FIFO (profiled; see guide_00's measure-first).
         self._rx_count = 0
+        # VCs with buffered flits, kept sorted: the ejection arbiter scans
+        # only these instead of every VC (usually one or two are non-empty).
+        self._rx_live: list[int] = []
         # Simulator activity registry.  The owning Network replaces this with
         # its shared registry before wiring; standalone terminals (unit
         # tests) keep the private throwaway dict.
@@ -91,12 +95,28 @@ class Terminal:
 
     def make_flit_sink(self):
         wake = self._wake_registry
+        vcs = self.receive.vcs
+        depth = self.receive.depth
+        rx_live = self._rx_live
+
+        fifos = [vcs[v].fifo for v in range(self.num_vcs)]
 
         def sink(item: tuple[int, Flit]) -> None:
+            # InputUnit.receive inlined (per-flit hot path).
             vc, flit = item
-            self.receive.receive(vc, flit)
+            fifo = fifos[vc]
+            n = len(fifo)
+            if n >= depth:
+                raise RuntimeError(
+                    f"buffer overflow on VC {vc}: credit protocol violated"
+                )
+            fifo.append(flit)
             self._rx_count += 1
-            wake[self] = None
+            if n == 0:
+                # Empty->busy transition; a non-empty FIFO implies rx_count
+                # was already positive, so the terminal is already awake.
+                insort(rx_live, vc)
+                wake[self] = None
 
         return sink
 
@@ -163,11 +183,29 @@ class Terminal:
                 for listener in self.inject_listeners:
                     listener(packet, cycle)
         vc = self._active_vc
-        if self.inject_credits.available(vc) <= 0:
+        credits = self.inject_credits
+        if credits.credits[vc] <= 0:
             return
         flit = self._active_flits.popleft()
-        self.inject_credits.consume(vc)
-        self.inject_channel.push(cycle, (vc, flit))
+        # CreditTracker.consume and Channel.push inlined (per-flit hot
+        # path); the underflow check is the credit test above.
+        credits.credits[vc] -= 1
+        credits.occupied_total += 1
+        ch = self.inject_channel
+        if ch.limit_rate:
+            if cycle <= ch._last_push_cycle:
+                raise RuntimeError(
+                    f"channel {ch.name!r} pushed twice in cycle {cycle}"
+                )
+            ch._last_push_cycle = cycle
+        ch.utilization_count += 1
+        ready = cycle + ch.latency
+        pipe = ch._pipe
+        if not pipe:
+            ch._next_ready = ready
+            if ch._active_set is not None:
+                ch._active_set[ch] = None
+        pipe.append((ready, (vc, flit)))
         self.flits_injected += 1
         if not self._active_flits:
             self._active_packet = None
@@ -189,15 +227,23 @@ class Terminal:
         while budget > 0 and self._rx_count > 0:
             if self._age:
                 # Inlined age-based pick (the generic arbiter's request-list
-                # build dominated ejection cost under load).
-                best_vc = -1
-                best_key = None
-                for v, state in enumerate(vcs):
-                    fifo = state.fifo
-                    if fifo:
-                        k = fifo[0].packet.age_key
-                        if best_key is None or k < best_key:
-                            best_key = k
+                # build dominated ejection cost under load), over the live
+                # VCs only.  One live VC — the common case — needs no
+                # arbitration at all; the multi-VC scan compares the
+                # (create_cycle, pid) age key as two ints (pids are unique,
+                # so the order is total).
+                live = self._rx_live
+                if len(live) == 1:
+                    best_vc = live[0]
+                else:
+                    best_vc = -1
+                    bc = bp = 0
+                    for v in live:
+                        p = vcs[v].fifo[0].packet
+                        c = p.create_cycle
+                        if best_vc < 0 or c < bc or (c == bc and p.pid < bp):
+                            bc = c
+                            bp = p.pid
                             best_vc = v
             else:
                 requests = [
@@ -211,7 +257,10 @@ class Terminal:
                 best_vc = pick[0]
             if best_vc < 0:
                 return
-            flit = vcs[best_vc].fifo.popleft()
+            fifo = vcs[best_vc].fifo
+            flit = fifo.popleft()
+            if not fifo:
+                self._rx_live.remove(best_vc)
             self._rx_count -= 1
             pid = flit.packet.pid
             expected = self._expected_index.get(pid, 0)
@@ -226,10 +275,24 @@ class Terminal:
                 self._expected_index[pid] = expected + 1
             self.flits_ejected += 1
             budget -= 1
-            if self.eject_credit_channel is not None:
+            cr = self.eject_credit_channel
+            if cr is not None:
                 # Credit channels carry the bare VC id (cheaper than a
-                # Credit object on the per-flit path).
-                self.eject_credit_channel.push(cycle, best_vc)
+                # Credit object on the per-flit path); Channel.push inlined.
+                if cr.limit_rate:
+                    if cycle <= cr._last_push_cycle:
+                        raise RuntimeError(
+                            f"channel {cr.name!r} pushed twice in cycle {cycle}"
+                        )
+                    cr._last_push_cycle = cycle
+                cr.utilization_count += 1
+                ready = cycle + cr.latency
+                pipe = cr._pipe
+                if not pipe:
+                    cr._next_ready = ready
+                    if cr._active_set is not None:
+                        cr._active_set[cr] = None
+                pipe.append((ready, best_vc))
             if flit.is_tail:
                 self._complete_packet(flit.packet, cycle)
 

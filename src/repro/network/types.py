@@ -11,7 +11,7 @@ model (halo exchanges, collectives).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 _packet_ids = itertools.count()
@@ -42,7 +42,6 @@ class Message:
         return self.packets_total > 0 and self.packets_delivered >= self.packets_total
 
 
-@dataclass
 class Packet:
     """A network packet.
 
@@ -50,28 +49,71 @@ class Packet:
     carry state in the packet (UGAL / Clos-AD / Valiant intermediate
     addresses).  DimWAR and OmniWAR never touch it — their entire routing
     state is encoded in the VC identifier, which is the paper's practicality
-    claim (Table 1: "Packet Contents: none").
+    claim (Table 1: "Packet Contents: none").  The backing dict is created
+    lazily on first access, so the common DimWAR/OmniWAR packet never
+    allocates one.
+
+    A ``__slots__`` class rather than a dataclass: packets are constructed
+    and have their fields read on the simulator's per-flit hot paths
+    (arbitration age keys, tail-flit checks), where slot access is
+    measurably cheaper than instance-dict access.
     """
 
-    src_terminal: int
-    dst_terminal: int
-    size: int  # flits, head and tail inclusive
-    create_cycle: int
-    pid: int = field(default_factory=_next_packet_id)
-    message: Message | None = None
-    # -- telemetry ---------------------------------------------------------
-    inject_cycle: int | None = None  # head flit left the terminal
-    eject_cycle: int | None = None  # tail flit consumed at destination
-    hops: int = 0  # router-to-router hops taken
-    deroutes: int = 0  # non-minimal hops taken
-    vc_trace: list[int] | None = None  # per-hop VCs (enabled for debugging)
-    port_trace: list[int] | None = None  # per-hop output ports
-    # -- algorithm scratch space (counts against Table 1 "packet contents") --
-    routing_state: dict[str, Any] = field(default_factory=dict)
+    __slots__ = (
+        "src_terminal",
+        "dst_terminal",
+        "size",  # flits, head and tail inclusive
+        "create_cycle",
+        "pid",
+        "message",
+        # -- telemetry ----------------------------------------------------
+        "inject_cycle",  # head flit left the terminal
+        "eject_cycle",  # tail flit consumed at destination
+        "hops",  # router-to-router hops taken
+        "deroutes",  # non-minimal hops taken
+        "vc_trace",  # per-hop VCs (enabled for debugging)
+        "port_trace",  # per-hop output ports
+        "_routing_state",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size < 1:
+    def __init__(
+        self,
+        src_terminal: int,
+        dst_terminal: int,
+        size: int,
+        create_cycle: int,
+        pid: int | None = None,
+        message: Message | None = None,
+    ):
+        if size < 1:
             raise ValueError("packet size must be >= 1 flit")
+        self.src_terminal = src_terminal
+        self.dst_terminal = dst_terminal
+        self.size = size
+        self.create_cycle = create_cycle
+        self.pid = _next_packet_id() if pid is None else pid
+        self.message = message
+        self.inject_cycle: int | None = None
+        self.eject_cycle: int | None = None
+        self.hops = 0
+        self.deroutes = 0
+        self.vc_trace: list[int] | None = None
+        self.port_trace: list[int] | None = None
+        self._routing_state: dict[str, Any] | None = None
+
+    @property
+    def routing_state(self) -> dict[str, Any]:
+        """Algorithm scratch space (counts against Table 1 "packet contents")."""
+        rs = self._routing_state
+        if rs is None:
+            rs = self._routing_state = {}
+        return rs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, {self.src_terminal}->{self.dst_terminal}, "
+            f"size={self.size}, t={self.create_cycle})"
+        )
 
     @property
     def age_key(self) -> tuple[int, int]:

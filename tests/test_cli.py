@@ -157,3 +157,74 @@ def test_faults_bad_schedule_exits_2(capsys):
     assert exc.value.code == 2
     err = capsys.readouterr().err
     assert "usage:" in err and "faults:" in err
+
+
+def _fake_recorded(path, name="test_perf_simulation_cycles_idle", min_s=1.0):
+    import json
+
+    summary = {
+        "schema": "repro-perf-summary/1",
+        "benchmarks": [{
+            "name": name, "min_s": min_s, "median_s": min_s, "mean_s": min_s,
+            "rounds": 5, "seed_min_s": min_s,
+        }],
+    }
+    with open(path, "w") as f:
+        json.dump(summary, f)
+    return path
+
+
+def test_bench_compare_only_prints_speedup_table(tmp_path, capsys):
+    recorded = _fake_recorded(str(tmp_path / "rec.json"))
+    rc = main([
+        "bench", "--out", recorded, "--compare",
+        "--only", "test_perf_simulation_cycles_idle",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "test_perf_simulation_cycles_idle" in out
+    assert "recorded" in out and "fresh" in out and "x" in out
+    # --compare must never rewrite the recorded file.
+    with open(recorded) as f:
+        assert "rounds" in f.read()
+
+
+def test_bench_regenerates_summary(tmp_path, capsys):
+    import json
+
+    out = str(tmp_path / "BENCH.json")
+    rc = main(["bench", "--out", out])
+    assert rc == 0
+    assert f"wrote {out}" in capsys.readouterr().out
+    with open(out) as f:
+        summary = json.load(f)
+    assert summary["schema"] == "repro-perf-summary/1"
+    names = [b["name"] for b in summary["benchmarks"]]
+    assert names == sorted(names) and len(names) == 5
+    assert all(b["min_s"] > 0 for b in summary["benchmarks"])
+
+
+def test_bench_only_without_compare_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--only", "test_perf_simulation_cycles_idle"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "bench:" in err and "--compare" in err
+
+
+def test_bench_compare_without_recorded_exits_2(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([
+            "bench", "--compare", "--out", str(tmp_path / "missing.json"),
+            "--only", "test_perf_simulation_cycles_idle",
+        ])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "bench:" in err and "recorded summary" in err
+
+
+def test_bench_unknown_name_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--compare", "--only", "no_such_benchmark"])
+    assert exc.value.code == 2
+    assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""Tests for the router's scoring fast path and the route-cache eviction.
+
+The scoring kernel (``RouterConfig.scoring_kernel``) re-implements the
+reference ``_allocate_vc`` / ``port_congestion`` / ``route_weight`` chain as
+one batched pass over the cached candidate skeleton.  It is only allowed to
+exist because it is *provably* identical: the property test here replays
+loaded simulations kernel-on vs kernel-off across the HyperX algorithms and
+random router states, and demands the full per-decision record — chosen
+candidate, allocated VC, and the bit-exact float weight of every candidate
+scored — match between the two paths.  (The ``repro.check`` oracle then
+proves the end-to-end sweep JSON identical; this test localises a future
+divergence to the exact routing decision.)
+
+The route cache's clock eviction is tested the same way: a capacity small
+enough to thrash must bound the cache, count its evictions, and change
+nothing about simulation results.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RouterConfig, SimConfig
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.telemetry import TelemetryProbe
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+#: HyperX algorithms with a non-None ``cache_key`` — the ones the skeleton
+#: cache (and therefore the scoring kernel) applies to.
+CACHEABLE_ALGOS = ["DOR", "MIN-AD", "DimWAR", "OmniWAR"]
+
+
+def _decision_stream(algo_name, widths, tpr, rate, seed, cycles, kernel):
+    """Run a loaded sim and record every routing decision via the route
+    hook: (cycle, router, input, packet, chosen candidate, out VC, and the
+    (candidate, vc, weight) list of everything scored)."""
+    cfg = SimConfig(router=RouterConfig(scoring_kernel=kernel)).validated()
+    topo = HyperX(widths, tpr)
+    algo = make_algorithm(algo_name, topo)
+    net = Network(topo, algo, cfg)
+    sim = Simulator(net)
+    sim.processes.append(
+        SyntheticTraffic(net, UniformRandom(topo.num_terminals), rate, seed=seed)
+    )
+    stream = []
+
+    def hook(cycle, router, in_port, in_vc, ctx, cand, out_vc, scored):
+        # Identify the packet by (src, dst, birth) rather than pid: pids come
+        # from a process-global counter, so run #2 of a pair is offset.
+        stream.append((
+            cycle,
+            router.router_id,
+            in_port,
+            in_vc,
+            (ctx.packet.src_terminal, ctx.packet.dst_terminal,
+             ctx.packet.create_cycle),
+            (cand.out_port, cand.vc_class, cand.hops, cand.deroute),
+            out_vc,
+            tuple(
+                ((c.out_port, c.vc_class, c.hops, c.deroute), v, w)
+                for c, v, w in scored
+            ),
+        ))
+
+    for r in net.routers:
+        r.add_route_hook(hook)
+    sim.run(cycles)
+    return stream
+
+
+@settings(max_examples=20)
+@given(
+    algo=st.sampled_from(CACHEABLE_ALGOS),
+    widths=st.sampled_from([(2, 2), (3, 2), (3, 3), (2, 2, 2)]),
+    tpr=st.integers(min_value=1, max_value=2),
+    rate=st.sampled_from([0.15, 0.3, 0.45, 0.6]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_kernel_weights_equal_reference(algo, widths, tpr, rate, seed):
+    """Fast-path weights == reference congestion x hops weights, bit-exact,
+    for random router states across the HyperX algorithms."""
+    fast = _decision_stream(algo, widths, tpr, rate, seed, 250, kernel=True)
+    ref = _decision_stream(algo, widths, tpr, rate, seed, 250, kernel=False)
+    assert fast, "loaded run made no routing decisions — vacuous property"
+    assert fast == ref
+
+
+def test_kernel_weights_match_under_class_scope():
+    """The kernel's class-scope branch (congestion over the candidate's own
+    VC group) must match the reference too; the default config only
+    exercises port scope."""
+    for kernel in (True, False):
+        cfg = SimConfig(
+            router=RouterConfig(scoring_kernel=kernel, congestion_scope="class")
+        ).validated()
+        topo = HyperX((3, 3), 2)
+        net = Network(topo, make_algorithm("OmniWAR", topo), cfg)
+        sim = Simulator(net)
+        sim.processes.append(
+            SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.4, seed=7)
+        )
+        stream = []
+
+        def hook(cycle, router, in_port, in_vc, ctx, cand, out_vc, scored,
+                 stream=stream):
+            stream.append(
+                (cycle, router.router_id, ctx.packet.dst_terminal,
+                 cand.out_port, out_vc, tuple(w for _, _, w in scored))
+            )
+
+        for r in net.routers:
+            r.add_route_hook(hook)
+        sim.run(300)
+        if kernel:
+            fast = stream
+        else:
+            assert stream == fast
+
+
+# ---------------------------------------------------------------------------
+# Route-cache eviction
+# ---------------------------------------------------------------------------
+
+
+def _loaded(cap=None, cycles=400):
+    topo = HyperX((3, 3), 2)
+    net = Network(topo, make_algorithm("OmniWAR", topo),
+                  SimConfig().validated())
+    if cap is not None:
+        for r in net.routers:
+            r._route_cache_cap = cap
+    sim = Simulator(net)
+    sim.processes.append(
+        SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.4, seed=3)
+    )
+    sim.run(cycles)
+    return net
+
+
+def test_route_cache_eviction_bounds_cache_and_counts():
+    net = _loaded(cap=2)
+    evictions = sum(r.route_cache_evictions for r in net.routers)
+    assert evictions > 0, "cap=2 under 9 destinations must thrash"
+    for r in net.routers:
+        assert len(r._route_cache) <= 2
+        # Counter consistency: every lookup is exactly one hit or miss, and
+        # the cache can only have evicted entries it first admitted.
+        assert r.route_cache_hits + r.route_cache_misses > 0
+        assert r.route_cache_evictions <= r.route_cache_misses
+
+
+def test_route_cache_eviction_does_not_change_results():
+    full = _loaded()
+    tiny = _loaded(cap=2)
+    assert sum(r.route_cache_evictions for r in full.routers) == 0
+    assert (
+        full.total_ejected_flits() == tiny.total_ejected_flits()
+        and sum(r.flits_forwarded for r in full.routers)
+        == sum(r.flits_forwarded for r in tiny.routers)
+    )
+
+
+def test_route_cache_disabled_stays_empty():
+    topo = HyperX((2, 2), 1)
+    cfg = SimConfig(router=RouterConfig(route_cache=False)).validated()
+    net = Network(topo, make_algorithm("DimWAR", topo), cfg)
+    sim = Simulator(net)
+    sim.processes.append(SyntheticTraffic(net, UniformRandom(4), 0.3, seed=1))
+    sim.run(300)
+    for r in net.routers:
+        assert len(r._route_cache) == 0
+        assert r.route_cache_hits == 0
+        # Misses still count lookups, so the telemetry hit-rate is honest
+        # about the cache being off.
+    assert sum(r.route_cache_misses for r in net.routers) > 0
+
+
+def test_telemetry_aggregates_route_cache_counters():
+    net = _loaded(cap=2)
+    stats = TelemetryProbe(net).route_cache_stats()
+    assert stats["hits"] == sum(r.route_cache_hits for r in net.routers)
+    assert stats["misses"] == sum(r.route_cache_misses for r in net.routers)
+    assert stats["evictions"] == sum(
+        r.route_cache_evictions for r in net.routers
+    )
+    assert 0.0 < stats["hit_rate"] < 1.0
+
+
+def test_telemetry_route_cache_stats_idle_network():
+    topo = HyperX((2, 2), 1)
+    net = Network(topo, make_algorithm("DOR", topo), SimConfig().validated())
+    stats = TelemetryProbe(net).route_cache_stats()
+    assert stats == {"hits": 0, "misses": 0, "evictions": 0, "hit_rate": 0.0}
