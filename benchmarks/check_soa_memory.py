@@ -1,0 +1,80 @@
+"""CI guard: the SoA datapath must not cost memory.
+
+The compiled kernels (``repro.network.soa``) share every mutable structure
+with the object facade — nothing is mirrored — so their footprint is one
+closure per router/terminal plus one tuple per channel, which is noise next
+to the flit/credit state itself.  This script runs the 16x16 loaded
+scenario from ``test_perf_simulator.py`` twice in *fresh subprocesses*
+(peak RSS is a high-water mark, so the two engines must not share a
+process) — SoA on vs ``RouterConfig.soa_core=False`` — and **fails
+(exit 1) if the SoA run's peak RSS exceeds the object run's by more than
+5%** (allocator jitter allowance; the expected delta is ~0).
+
+Run:  PYTHONPATH=src python benchmarks/check_soa_memory.py
+"""
+
+import subprocess
+import sys
+
+TOLERANCE = 1.05  # SoA peak RSS may exceed the object path's by at most 5%
+
+CHILD = r"""
+import resource
+import sys
+
+from repro.config import RouterConfig, SimConfig, default_config
+from repro.core.registry import make_algorithm
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+soa = sys.argv[1] == "on"
+cfg = default_config() if soa else SimConfig(
+    router=RouterConfig(soa_core=False)).validated()
+topo = HyperX((16, 16), 1)
+net = Network(topo, make_algorithm("DimWAR", topo), cfg)
+sim = Simulator(net)
+sim.processes.append(
+    SyntheticTraffic(net, UniformRandom(topo.num_terminals), 0.3, seed=1))
+sim.run(500)
+assert sim.soa_active == soa, sim.soa_fallback_reason
+assert net.total_ejected_flits() > 0
+# ru_maxrss is KiB on Linux, bytes on macOS; both engines read the same
+# unit in the same interpreter, so the ratio is unit-free.
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def peak_rss(engine: str) -> int:
+    out = subprocess.run(
+        [sys.executable, "-c", CHILD, engine],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return int(out.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    rss_obj = peak_rss("off")
+    rss_soa = peak_rss("on")
+    ratio = rss_soa / rss_obj
+    print(f"object path peak RSS: {rss_obj}")
+    print(f"SoA core    peak RSS: {rss_soa}")
+    print(f"ratio (SoA / object): {ratio:.3f}  (limit {TOLERANCE:.2f})")
+    if ratio > TOLERANCE:
+        print(
+            f"\nFAIL: the SoA datapath's peak RSS is {(ratio - 1):.1%} above "
+            "the object path's — the kernels are supposed to share state, "
+            "not copy it.  Look for accidental mirroring in "
+            "src/repro/network/soa.py."
+        )
+        return 1
+    print("\nok: the SoA datapath is memory-neutral")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,17 @@ def test_perf_simulation_cycles_loaded(benchmark):
     assert sim.network.total_ejected_flits() > 0
 
 
+def test_perf_simulation_cycles_loaded_16x16(benchmark):
+    """Loaded throughput at the ROADMAP's target scale (256 routers)."""
+    sim = _loaded_sim(widths=(16, 16), tpr=1, algo="DimWAR", rate=0.3, warm=200)
+
+    def run_chunk():
+        sim.run(100)
+
+    benchmark.pedantic(run_chunk, rounds=5, iterations=1, warmup_rounds=1)
+    assert sim.network.total_ejected_flits() > 0
+
+
 def test_perf_simulation_cycles_idle(benchmark):
     """Idle network cycles must be near-free (activity tracking works)."""
     topo = HyperX((4, 4), 2)

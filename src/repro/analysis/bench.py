@@ -1,6 +1,6 @@
 """Perf microbenchmark harness behind ``python -m repro bench``.
 
-Runs the same five simulator microbenchmarks as
+Runs the same six simulator microbenchmarks as
 ``benchmarks/test_perf_simulator.py`` (network construction, loaded and
 idle simulation cycles, traffic generation, one adaptive routing decision)
 without the pytest-benchmark machinery, and regenerates the repo's recorded
@@ -78,6 +78,28 @@ def _bench_cycles_loaded():
     }
 
 
+def _bench_cycles_loaded_16x16():
+    """Loaded throughput at the ROADMAP's target scale (16x16 HyperX, 256
+    routers).  Reported both as cycles/sec and delivered flits/sec: the
+    steady-state flits-per-cycle rate is sampled once after warm-up, then
+    multiplied by the timed cycle rate (both engines deliver bit-identical
+    flit streams, so the product is the honest throughput number)."""
+    sim = _loaded_sim(widths=(16, 16), tpr=1, algo="DimWAR", rate=0.3, warm=200)
+    net = sim.network
+    before = net.total_ejected_flits()
+    sim.run(100)
+    flits_per_cycle = (net.total_ejected_flits() - before) / 100.0
+
+    def run_chunk():
+        sim.run(100)
+
+    return run_chunk, {
+        "rounds": 5, "iterations": 1, "warmup_rounds": 1,
+        "cycles_per_chunk": 100,
+        "flits_per_cycle": round(flits_per_cycle, 3),
+    }
+
+
 def _bench_cycles_idle():
     from ..config import default_config
     from ..core.registry import make_algorithm
@@ -146,6 +168,7 @@ SCENARIOS = {
     "test_perf_routing_decision": _bench_routing_decision,
     "test_perf_simulation_cycles_idle": _bench_cycles_idle,
     "test_perf_simulation_cycles_loaded": _bench_cycles_loaded,
+    "test_perf_simulation_cycles_loaded_16x16": _bench_cycles_loaded_16x16,
     "test_perf_traffic_generation": _bench_traffic_generation,
 }
 
@@ -201,6 +224,10 @@ def run_benchmarks(names=None) -> dict:
         if cycles:
             entry["cycles_per_chunk"] = cycles
             entry["cycles_per_sec_min"] = int(cycles / entry["min_s"])
+            fpc = opts.get("flits_per_cycle")
+            if fpc is not None:
+                entry["flits_per_cycle"] = fpc
+                entry["flits_per_sec_min"] = int(fpc * cycles / entry["min_s"])
         out.append(entry)
     return {
         "schema": SCHEMA,

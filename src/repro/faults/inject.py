@@ -52,6 +52,13 @@ class FaultInjector:
     ``fault_state``); construction raises otherwise.
     """
 
+    #: Compatible with the SoA datapath (repro.network.soa): every mutation
+    #: it makes — fault-state flips, route-cache invalidation,
+    #: revoke_unstarted_routes, channel min_gap rewrites — targets state the
+    #: fused kernels share with the object facade, so both engines observe
+    #: an injected fault identically from the same cycle on.
+    soa_safe = True
+
     def __init__(self, network: "Network", schedule: FaultSchedule):
         state = getattr(network, "fault_state", None)
         if state is None:

@@ -90,9 +90,14 @@ class Network:
         self._active_terminals: dict[Terminal, None] = {}
 
         seeds = np.random.SeedSequence(cfg.seed).spawn(topology.num_routers)
+        # One shared terminal -> destination-router table for every router
+        # (tabulating it per router made construction O(routers x terminals)).
+        dest_router = [
+            topology.router_of_terminal(t) for t in range(topology.num_terminals)
+        ]
         self.routers = [
             Router(r, topology, algorithm, self.vc_map, cfg,
-                   np.random.default_rng(seeds[r]))
+                   np.random.default_rng(seeds[r]), dest_router=dest_router)
             for r in range(topology.num_routers)
         ]
         self.terminals = [

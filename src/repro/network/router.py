@@ -69,6 +69,7 @@ class Router:
         vc_map: "VcMap",
         cfg: "SimConfig",
         rng: np.random.Generator,
+        dest_router: list[int] | None = None,
     ):
         self.router_id = router_id
         self.topology = topology
@@ -146,8 +147,12 @@ class Router:
         self._is_term_port = [p in self.terminal_ports for p in range(self.radix)]
         # Destination router per terminal, tabulated: _compute_route resolves
         # the dest router with one list index instead of a topology call per
-        # routing decision.
-        self._dest_router = [
+        # routing decision.  The table is identical for every router of a
+        # network, so the Network builder computes it once and shares it —
+        # tabulating it per router made construction O(routers x terminals)
+        # and was the dominant cost of building large networks.  Standalone
+        # routers (unit tests) tabulate their own.
+        self._dest_router = dest_router if dest_router is not None else [
             topology.router_of_terminal(t) for t in range(topology.num_terminals)
         ]
 
@@ -157,9 +162,16 @@ class Router:
         self._budget_touched: list[int] = []
         self._commit_touched: list[int] = []
 
+        # port -> (fifos, keys, ents) captured by make_flit_sink; the SoA
+        # core's delivery records alias these instead of rebuilding them.
+        self._sink_refs: dict[int, tuple[list, list, list]] = {}
+
         # Pre-drawn tie-break jitter: one generator call per 4096 draws
-        # instead of one rng.random() per candidate scored.
-        self._jitter: list[float] = rng.random(4096).tolist()
+        # instead of one rng.random() per candidate scored.  Drawn lazily on
+        # the first routing decision — the router's rng feeds nothing else,
+        # so the stream is unchanged, and idle routers (most of a large
+        # network at construction time) never pay for the block.
+        self._jitter: list[float] | None = None
         self._jitter_idx = 0
 
         # Memoised candidate *skeletons* for stateless algorithms (see
@@ -295,6 +307,10 @@ class Router:
         ents = [(vcs[v], vcs[v].fifo, port, v) for v in range(self.num_vcs)]
 
         fifos = [vcs[v].fifo for v in range(self.num_vcs)]
+        # Shared with the SoA core's per-channel delivery record
+        # (repro.network.soa), which would otherwise rebuild all three
+        # lists per incoming channel — ~1.4 KB each, megabytes at scale.
+        self._sink_refs[port] = (fifos, keys, ents)
 
         def sink(item: tuple[int, Flit]) -> None:
             # InputUnit.receive inlined (per-flit hot path).
@@ -705,6 +721,8 @@ class Router:
         depth = self._buffer_depth
         nv = self.num_vcs
         jitter = self._jitter
+        if jitter is None:
+            jitter = self._jitter = self.rng.random(4096).tolist()
         jidx = self._jitter_idx
         hook = self._route_hook
         scored: list | None = [] if hook is not None else None
@@ -770,6 +788,8 @@ class Router:
         packet = ctx.packet
         port_scope = self._port_scope
         jitter = self._jitter
+        if jitter is None:
+            jitter = self._jitter = self.rng.random(4096).tolist()
         jidx = self._jitter_idx
         hook = self._route_hook
         # Candidate record for observers, built only when a hook is attached

@@ -39,6 +39,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from .soa import SoACore, fallback_reason
+
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
 
@@ -52,6 +54,12 @@ class Simulator:
         #: callables invoked at the start of every compute phase with
         #: ``(cycle)``; traffic generators and the application engine hook here
         self.processes: list[Callable[[int], None]] = []
+        # SoA dispatch state: the compiled core (built lazily on the first
+        # eligible run), which engine the last run() used, and — when the
+        # object path was taken — why (diagnostics / tests).
+        self._soa: SoACore | None = None
+        self.soa_active = False
+        self.soa_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -75,7 +83,27 @@ class Simulator:
         self.run(1)
 
     def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` cycles (chunked fast path)."""
+        """Advance the simulation by ``cycles`` cycles.
+
+        Dispatches to the struct-of-arrays core (:mod:`repro.network.soa`)
+        when eligible — the default for plain runs — and otherwise takes
+        the object path below, the reference implementation.  Both engines
+        mutate the same shared state, so the choice may differ between
+        consecutive ``run()`` calls (e.g. a sanitizer attached mid-stream)
+        without affecting results; the soa-vs-object differential oracle
+        in repro.check certifies bit-identical behaviour.
+        """
+        reason = fallback_reason(self)
+        if reason is None:
+            core = self._soa
+            if core is None:
+                core = self._soa = SoACore(self)
+            self.soa_active = True
+            self.soa_fallback_reason = None
+            core.run(cycles)
+            return
+        self.soa_active = False
+        self.soa_fallback_reason = reason
         network = self.network
         active_channels = network._active_channels
         active_terminals = network._active_terminals

@@ -1,0 +1,632 @@
+"""Struct-of-arrays (SoA) flit datapath: fused per-stage kernels.
+
+The object model (`Router`/`Terminal`/`Channel`) spends most of a loaded
+cycle on *dispatch*: per-component ``step()`` method calls, the per-call
+re-hoisting of a dozen attribute chains into locals, and per-flit
+re-resolution of the output-side structures (credit array, staging queue,
+credit-return pipe) that a wormhole's route pins for its whole lifetime.
+
+This module removes that overhead without forking the simulator's state:
+
+* **Shared flat state.**  The per-(port, VC) credit counters
+  (``CreditTracker.credits``), staged-flit counts (``_staged_count``), VC
+  occupancy (input FIFO deques), staging queues (``staged[port][vc]``) and
+  in-flight channel payloads (``Channel._pipe``) already live in flat
+  parallel Python lists/deques indexed by port and VC.  The SoA core binds
+  *those same objects* into its kernels — there is no mirror copy and no
+  synchronisation step, so facade reads (tests, sanitizer, stats) and
+  kernel writes observe a single state at all times, and every
+  order-bearing structure (the insertion-ordered active dicts, the jitter
+  ring, the route-cache clock) is shared too.  Bit-identity with the object
+  path is by construction, and certified by the ``soa-vs-object``
+  differential oracle in :mod:`repro.check`.  (``array``/``numpy`` backings
+  were benchmarked and rejected for these arrays: at the 8-32 element
+  batches a radix-8 router touches per cycle, buffer-protocol scalar access
+  costs more than a list index — see DESIGN.md section 7.)
+
+* **Fused per-stage kernels.**  One compiled closure per router and per
+  terminal holds every loop-invariant reference in cell variables —
+  compiled once, not re-hoisted per cycle — and runs the route,
+  VC-allocation, switch-allocation and link-traversal stages of that
+  component in a single frame, with zero intermediate method calls.  The
+  kernels are a line-for-line transliteration of
+  ``Router._step_inputs``/``_step_outputs`` and
+  ``Terminal._step_injection``/``_step_ejection``, specialised for the
+  configurations the eligibility gate admits (age arbitration, no
+  sequential allocation, no observation hooks).
+
+* **Per-wormhole stream records.**  A committed route pins its output
+  port and VC until the tail flit; the kernel resolves the six structures
+  the forwarding inner loop touches (tracker, credit list, staging queue,
+  live-VC list, output entry, credit-return channel) once per wormhole
+  into ``VcRoute.stream`` instead of once per flit.
+
+The object path remains the reference implementation.  ``Simulator.run``
+consults :func:`fallback_reason` on every call: runs with observers
+attached (the repro.check sanitizer registers a process, the repro.obs
+tracer registers router hooks), with ``RouterConfig.soa_core`` off, or
+with configurations the kernels do not specialise for, transparently take
+the object path.  Because all state is shared, a simulation may alternate
+between the two engines across ``run()`` calls mid-stream and produce the
+same cycle-exact results either way.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+    from .router import Router
+    from .simulator import Simulator
+    from .terminal import Terminal
+
+
+def fallback_reason(sim: "Simulator") -> str | None:
+    """Why this ``run()`` call must take the object path; None when the SoA
+    core applies.
+
+    Checked per ``run()`` call (cheap: two flag reads, one scan over the
+    registered processes and one over the routers' hook slots) so observers
+    attached or detached between runs take effect immediately.  A process
+    must declare itself compatible by exposing ``soa_safe = True`` —
+    synthetic traffic and the fault injector do; the runtime sanitizer
+    deliberately does not, which routes checked runs through the reference
+    implementation the oracle compares against.
+    """
+    net = sim.network
+    rc = net.cfg.router
+    if not rc.soa_core:
+        return "RouterConfig.soa_core is off"
+    if rc.sequential_allocation:
+        return "sequential_allocation is not specialised"
+    if rc.arbiter != "age":
+        return f"arbiter {rc.arbiter!r} is not specialised"
+    for proc in sim.processes:
+        if not getattr(proc, "soa_safe", False):
+            return f"process {type(proc).__name__} is not marked soa_safe"
+    for r in net.routers:
+        if r._route_hooks or r._forward_hooks:
+            return "router observation hooks attached"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Kernel compilation
+# ----------------------------------------------------------------------
+
+
+def _compile_router(r: "Router"):
+    """Build the fused input+output kernel for one router.
+
+    Every name below is a cell variable of the returned closure: the
+    attribute chains ``Router.step`` re-resolves per cycle are resolved
+    exactly once, here.  All referenced structures are the router's own
+    long-lived mutable objects (wiring is immutable after construction),
+    so the kernel always observes — and mutates — current facade state.
+    """
+    router = r
+    active_in = r._active_in
+    asleep = r._asleep
+    trackers = r.credit_trackers
+    staged_count = r._staged_count
+    stage_cap = r._stage_cap
+    xbar_lat = r._xbar_lat
+    staged = r.staged
+    staged_live = r._staged_live
+    active_out = r._active_out
+    out_ents = r._out_ent
+    credit_return = r._credit_return
+    credit_waiter = r._credit_waiter
+    out_vc_owner = r.out_vc_owner
+    budget = r._port_budget
+    touched = r._budget_touched
+    speedup = r._speedup
+    dead_in = r._dead_in
+    dead_out = r._dead_out
+    stage_ready = r._stage_ready
+    compute_route = r._compute_route
+
+    def step(
+        cycle: int,
+        # Default-argument rebinding: every hot name below becomes a frame
+        # local (LOAD_FAST) instead of a closure cell (LOAD_DEREF), which
+        # measures faster in the per-flit inner loops.  Callers pass only
+        # ``cycle``.
+        active_in=active_in,
+        asleep=asleep,
+        staged_count=staged_count,
+        stage_cap=stage_cap,
+        xbar_lat=xbar_lat,
+        active_out=active_out,
+        credit_waiter=credit_waiter,
+        budget=budget,
+        touched=touched,
+        speedup=speedup,
+        dead_in=dead_in,
+        dead_out=dead_out,
+        stage_ready=stage_ready,
+        compute_route=compute_route,
+        insort=insort,
+    ) -> None:
+        # ---------------- input pass: route + VC alloc + switch alloc ----
+        if active_in and len(asleep) < len(active_in):
+            if touched:
+                for p in touched:
+                    budget[p] = 0
+                touched.clear()
+            forwarded = 0
+            check_asleep = bool(asleep)
+            for key, ent in active_in.items():
+                if check_asleep and key in asleep:
+                    continue
+                state, fifo, port, vc = ent
+                if not fifo:
+                    dead_in.append(key)
+                    continue
+                if budget[port] >= speedup:
+                    continue
+                route = state.route
+                if route is None:
+                    head = fifo[0]
+                    if not head.is_head:
+                        raise RuntimeError(
+                            "non-head flit with no route: VC protocol bug"
+                        )
+                    route = compute_route(cycle, port, vc, head)
+                    if route is None:
+                        router.route_stalls += 1
+                        continue
+                    state.route = route
+                stream = route.stream
+                if stream is None:
+                    op = route.out_port
+                    ov = route.out_vc
+                    tracker = trackers[op]
+                    stream = route.stream = (
+                        op, ov, tracker, tracker.credits, staged[op][ov],
+                        staged_live[op], out_ents[op], credit_return[port],
+                        out_vc_owner[op],
+                    )
+                op, ov, tracker, credits_l, sq, live, out_ent, cr, owner = stream
+                if credits_l[ov] <= 0:
+                    credit_waiter[op][ov] = key
+                    asleep.add(key)
+                    continue
+                sc = staged_count[op]
+                if sc >= stage_cap:
+                    continue
+                flit = fifo.popleft()
+                credits_l[ov] -= 1
+                tracker.occupied_total += 1
+                if not sq:
+                    insort(live, ov)
+                sq.append((cycle + xbar_lat, flit))
+                staged_count[op] = sc + 1
+                if sc == 0:
+                    active_out[op] = out_ent
+                forwarded += 1
+                if budget[port] == 0:
+                    touched.append(port)
+                budget[port] += 1
+                if cr is not None:
+                    # Credit channels are wired rate-unlimited and always
+                    # registered in the shared active set.
+                    cr.utilization_count += 1
+                    ready = cycle + cr.latency
+                    pipe = cr._pipe
+                    if not pipe:
+                        cr._next_ready = ready
+                        cr._active_set[cr] = None
+                    pipe.append((ready, vc))
+                if flit.tail:
+                    owner[ov] = None
+                    state.route = None
+                if not fifo:
+                    dead_in.append(key)
+            if forwarded:
+                router.flits_forwarded += forwarded
+            if dead_in:
+                for key in dead_in:
+                    del active_in[key]
+                dead_in.clear()
+        # ---------------- output pass: link traversal --------------------
+        if active_out:
+            for port, ent in active_out.items():
+                if staged_count[port] == 0:
+                    dead_out.append(port)
+                    continue
+                if cycle < stage_ready[port]:
+                    continue
+                ch, pstaged, live = ent
+                if ch.min_gap > 1 and cycle - ch._last_push_cycle < ch.min_gap:
+                    stage_ready[port] = ch._last_push_cycle + ch.min_gap
+                    continue
+                if len(live) == 1:
+                    v = live[0]
+                    if pstaged[v][0][0] > cycle:
+                        stage_ready[port] = pstaged[v][0][0]
+                        continue
+                    best_vc = v
+                else:
+                    best_vc = -1
+                    bc = bp = 0
+                    next_ready = -1
+                    for v in live:
+                        ready, flit = pstaged[v][0]
+                        if ready <= cycle:
+                            p = flit.packet
+                            c = p.create_cycle
+                            if (
+                                best_vc < 0
+                                or c < bc
+                                or (c == bc and p.pid < bp)
+                            ):
+                                bc = c
+                                bp = p.pid
+                                best_vc = v
+                        elif next_ready < 0 or ready < next_ready:
+                            next_ready = ready
+                    if best_vc < 0:
+                        if next_ready > 0:
+                            stage_ready[port] = next_ready
+                        continue
+                q = pstaged[best_vc]
+                _, flit = q.popleft()
+                if not q:
+                    live.remove(best_vc)
+                staged_count[port] -= 1
+                if cycle <= ch._last_push_cycle:
+                    raise RuntimeError(
+                        f"channel {ch.name!r} pushed twice in cycle {cycle}"
+                    )
+                ch._last_push_cycle = cycle
+                ch.utilization_count += 1
+                ready = cycle + ch.latency
+                pipe = ch._pipe
+                if not pipe:
+                    ch._next_ready = ready
+                    ch._active_set[ch] = None
+                pipe.append((ready, (best_vc, flit)))
+                if staged_count[port] == 0:
+                    dead_out.append(port)
+            if dead_out:
+                for port in dead_out:
+                    del active_out[port]
+                dead_out.clear()
+
+    return step
+
+
+def _compile_terminal(t: "Terminal"):
+    """Build the fused injection+ejection kernel for one terminal."""
+    terminal = t
+    algorithm = t.algorithm
+    icred = t.inject_credits
+    ich = t.inject_channel
+    vcs_of = [t.vc_map.vcs_of(k) for k in range(t.vc_map.num_classes)]
+    fifos = [t.receive.vcs[v].fifo for v in range(t.num_vcs)]
+    rx_live = t._rx_live
+    eject_rate = t._eject_rate
+    expected_index = t._expected_index
+    ecred = t.eject_credit_channel
+
+    def step(
+        cycle: int,
+        # Default-argument rebinding, as in the router kernel: hot closure
+        # cells become frame locals.  Callers pass only ``cycle``.
+        terminal=terminal,
+        algorithm=algorithm,
+        icred=icred,
+        ich=ich,
+        vcs_of=vcs_of,
+        fifos=fifos,
+        rx_live=rx_live,
+        eject_rate=eject_rate,
+        expected_index=expected_index,
+        ecred=ecred,
+        deque=deque,
+    ) -> None:
+        # ---------------- injection --------------------------------------
+        ap = terminal._active_packet
+        source_queue = terminal.source_queue
+        if ap is not None or source_queue:
+            if ap is None:
+                packet = source_queue[0]
+                best_vc = None
+                bc = 0
+                credits_l = icred.credits
+                for klass in algorithm.injection_classes(packet):
+                    for v in vcs_of[klass]:
+                        c = credits_l[v]
+                        if c > bc:
+                            bc = c
+                            best_vc = v
+                if best_vc is not None:
+                    source_queue.popleft()
+                    terminal._active_packet = ap = packet
+                    terminal._active_flits = deque(packet.flits())
+                    terminal._active_vc = best_vc
+                    packet.inject_cycle = cycle
+                    listeners = terminal.inject_listeners
+                    if listeners:
+                        for listener in listeners:
+                            listener(packet, cycle)
+            if ap is not None:
+                vc = terminal._active_vc
+                credits_l = icred.credits
+                if credits_l[vc] > 0:
+                    flits = terminal._active_flits
+                    flit = flits.popleft()
+                    credits_l[vc] -= 1
+                    icred.occupied_total += 1
+                    # Injection channels are wired rate-limited: keep the
+                    # double-push protocol check of the reference path.
+                    if cycle <= ich._last_push_cycle:
+                        raise RuntimeError(
+                            f"channel {ich.name!r} pushed twice in cycle {cycle}"
+                        )
+                    ich._last_push_cycle = cycle
+                    ich.utilization_count += 1
+                    ready = cycle + ich.latency
+                    pipe = ich._pipe
+                    if not pipe:
+                        ich._next_ready = ready
+                        ich._active_set[ich] = None
+                    pipe.append((ready, (vc, flit)))
+                    terminal.flits_injected += 1
+                    if not flits:
+                        terminal._active_packet = None
+                        terminal._active_flits = None
+                        terminal._active_vc = None
+        # ---------------- ejection (age arbitration) ---------------------
+        if terminal._rx_count:
+            budget = eject_rate
+            while budget > 0 and terminal._rx_count > 0:
+                if len(rx_live) == 1:
+                    best_vc = rx_live[0]
+                else:
+                    best_vc = -1
+                    bc = bp = 0
+                    for v in rx_live:
+                        p = fifos[v][0].packet
+                        c = p.create_cycle
+                        if best_vc < 0 or c < bc or (c == bc and p.pid < bp):
+                            bc = c
+                            bp = p.pid
+                            best_vc = v
+                    if best_vc < 0:
+                        return
+                fifo = fifos[best_vc]
+                flit = fifo.popleft()
+                if not fifo:
+                    rx_live.remove(best_vc)
+                terminal._rx_count -= 1
+                packet = flit.packet
+                pid = packet.pid
+                expected = expected_index.get(pid, 0)
+                if flit.index != expected:
+                    raise RuntimeError(
+                        f"flit reordering within packet {pid}: got flit "
+                        f"{flit.index}, expected {expected}"
+                    )
+                tail = flit.tail
+                if tail:
+                    expected_index.pop(pid, None)
+                else:
+                    expected_index[pid] = expected + 1
+                terminal.flits_ejected += 1
+                budget -= 1
+                if ecred is not None:
+                    # Ejection-credit channels are wired rate-unlimited.
+                    ecred.utilization_count += 1
+                    ready = cycle + ecred.latency
+                    pipe = ecred._pipe
+                    if not pipe:
+                        ecred._next_ready = ready
+                        ecred._active_set[ecred] = None
+                    pipe.append((ready, best_vc))
+                if tail:
+                    terminal._complete_packet(packet, cycle)
+
+    return step
+
+
+def _compile_channels(net: "Network") -> None:
+    """Attach a typed delivery record to every wired channel.
+
+    The link-traversal kernel in :meth:`SoACore.run` dispatches on the
+    record kind and applies the sink body inline — the records resolve
+    exactly the references the per-channel ``_sink`` closures captured at
+    wiring time, so both delivery mechanisms are interchangeable per item.
+
+    Kinds: 0 = flit into a router input, 1 = flit into a terminal,
+    2 = credit into a router's output tracker, 3 = credit into a
+    terminal's injection tracker.
+    """
+
+    def router_flit_rec(r: "Router", port: int) -> tuple:
+        # Alias the (fifos, keys, ents) lists the object-path sink captured
+        # at wiring time rather than rebuilding them: identical behaviour,
+        # zero extra footprint (benchmarks/check_soa_memory.py guards it).
+        fifos, keys, ents = r._sink_refs[port]
+        return (
+            0,
+            fifos,
+            keys,
+            ents,
+            r._active_in,
+            r._wake_registry,
+            r,
+            r.inputs[port].depth,
+        )
+
+    def router_credit_rec(r: "Router", port: int) -> tuple:
+        return (2, r.credit_trackers[port], r._credit_waiter[port], r._asleep)
+
+    for link in net.links:
+        if link.kind == "rr":
+            dst_router, dst_port = link.dst
+            src_router, src_port = link.src
+            link.data._soa_rec = router_flit_rec(net.routers[dst_router], dst_port)
+            link.credit._soa_rec = router_credit_rec(net.routers[src_router], src_port)
+        elif link.kind == "inj":
+            dst_router, dst_port = link.dst
+            t = net.terminals[link.src]
+            link.data._soa_rec = router_flit_rec(net.routers[dst_router], dst_port)
+            link.credit._soa_rec = (3, t.inject_credits)
+        else:  # "ej"
+            src_router, src_port = link.src
+            t = net.terminals[link.dst]
+            link.data._soa_rec = (
+                1,
+                t._sink_fifos,
+                t._rx_live,
+                t._wake_registry,
+                t,
+                t.receive.depth,
+            )
+            link.credit._soa_rec = router_credit_rec(
+                net.routers[src_router], src_port
+            )
+
+
+# ----------------------------------------------------------------------
+# The core
+# ----------------------------------------------------------------------
+
+
+class SoACore:
+    """Compiled SoA datapath for one :class:`Simulator`.
+
+    Compiled once per simulator (wiring is immutable after network
+    construction); :meth:`run` is the drop-in replacement for the object
+    path's chunked cycle loop.  The delivery phase is shared verbatim with
+    the object engine — channel sinks are already per-channel compiled
+    closures — so only the compute phase dispatches through the fused
+    kernels.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        net: "Network" = sim.network
+        self.network = net
+        for r in net.routers:
+            r._soa_step = _compile_router(r)
+        for t in net.terminals:
+            t._soa_step = _compile_terminal(t)
+        _compile_channels(net)
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles through the fused kernels.
+
+        Structure and ordering are cycle-exact with ``Simulator.run``'s
+        object loop: deliveries, then processes, then terminals (snapshot
+        iteration — a delivery listener may wake a terminal mid-pass),
+        then routers, with the same deferred removal from the same shared
+        activity dicts.
+        """
+        sim = self.sim
+        network = self.network
+        active_channels = network._active_channels
+        active_terminals = network._active_terminals
+        active_routers = network._active_routers
+        processes = sim.processes
+        cycle = sim.cycle
+        end = cycle + cycles
+        drained: list = []
+        while cycle < end:
+            # Link-traversal kernel: the object engine's delivery loop with
+            # the per-item sink calls replaced by inline bodies dispatched
+            # on each channel's typed record (same channel order, same item
+            # order, same error messages).
+            if active_channels:
+                for ch in active_channels:
+                    if ch._next_ready > cycle:
+                        continue
+                    pipe = ch._pipe
+                    rec = ch._soa_rec
+                    kind = rec[0]
+                    if kind == 0:  # flit -> router input
+                        _, fifos, keys, ents, active_in, wake, router, depth = rec
+                        while pipe and pipe[0][0] <= cycle:
+                            vc, flit = pipe.popleft()[1]
+                            fifo = fifos[vc]
+                            n = len(fifo)
+                            if n >= depth:
+                                raise RuntimeError(
+                                    f"buffer overflow on VC {vc}: credit "
+                                    f"protocol violated"
+                                )
+                            fifo.append(flit)
+                            if n == 0:
+                                active_in[keys[vc]] = ents[vc]
+                                wake[router] = None
+                    elif kind == 2:  # credit -> router output tracker
+                        tracker, waiters, asleep = rec[1], rec[2], rec[3]
+                        credits_l = tracker.credits
+                        depth = tracker.depth
+                        while pipe and pipe[0][0] <= cycle:
+                            vc = pipe.popleft()[1]
+                            if credits_l[vc] >= depth:
+                                raise RuntimeError(
+                                    f"credit overflow on VC {vc}"
+                                )
+                            credits_l[vc] += 1
+                            tracker.occupied_total -= 1
+                            k = waiters[vc]
+                            if k is not None:
+                                waiters[vc] = None
+                                asleep.discard(k)
+                    elif kind == 1:  # flit -> terminal
+                        _, fifos, rx_live, wake, terminal, depth = rec
+                        while pipe and pipe[0][0] <= cycle:
+                            vc, flit = pipe.popleft()[1]
+                            fifo = fifos[vc]
+                            n = len(fifo)
+                            if n >= depth:
+                                raise RuntimeError(
+                                    f"buffer overflow on VC {vc}: credit "
+                                    f"protocol violated"
+                                )
+                            fifo.append(flit)
+                            terminal._rx_count += 1
+                            if n == 0:
+                                insort(rx_live, vc)
+                                wake[terminal] = None
+                    else:  # kind == 3: credit -> terminal inject tracker
+                        tracker = rec[1]
+                        while pipe and pipe[0][0] <= cycle:
+                            tracker.restore(pipe.popleft()[1])
+                    if pipe:
+                        ch._next_ready = pipe[0][0]
+                    else:
+                        drained.append(ch)
+                if drained:
+                    for ch in drained:
+                        del active_channels[ch]
+                    drained.clear()
+            for proc in processes:
+                proc(cycle)
+            if active_terminals:
+                for t in list(active_terminals):
+                    t._soa_step(cycle)
+                    if (
+                        t._rx_count == 0
+                        and not t.source_queue
+                        and t._active_packet is None
+                    ):
+                        active_terminals.pop(t, None)
+            if active_routers:
+                for r in active_routers:
+                    r._soa_step(cycle)
+                    if not r._active_in and not r._active_out:
+                        drained.append(r)
+                if drained:
+                    for r in drained:
+                        del active_routers[r]
+                    drained.clear()
+            cycle += 1
+            sim.cycle = cycle

@@ -133,13 +133,19 @@ class Packet:
 
 
 class Flit:
-    """One flit of a packet.  Lightweight: hot-path object."""
+    """One flit of a packet.  Lightweight: hot-path object.
 
-    __slots__ = ("packet", "index")
+    ``tail`` is precomputed at construction: the tail test runs once per
+    flit on both the switch-allocation and the ejection hot paths, where a
+    stored slot is cheaper than re-deriving ``index == packet.size - 1``.
+    """
+
+    __slots__ = ("packet", "index", "tail")
 
     def __init__(self, packet: Packet, index: int):
         self.packet = packet
         self.index = index
+        self.tail = index == packet.size - 1
 
     @property
     def is_head(self) -> bool:
@@ -147,7 +153,7 @@ class Flit:
 
     @property
     def is_tail(self) -> bool:
-        return self.index == self.packet.size - 1
+        return self.tail
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

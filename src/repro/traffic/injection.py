@@ -28,6 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class SyntheticTraffic:
     """A simulator process generating synthetic traffic on every terminal."""
 
+    #: Compatible with the SoA datapath (repro.network.soa): only calls
+    #: Terminal.offer(), which both engines handle identically.
+    soa_safe = True
+
     def __init__(
         self,
         network: "Network",
@@ -96,6 +100,8 @@ class BurstyTraffic:
     adaptive algorithms' transient behaviour beyond what the Bernoulli
     process of :class:`SyntheticTraffic` exercises.
     """
+
+    soa_safe = True  # only calls Terminal.offer(); see SyntheticTraffic
 
     def __init__(
         self,

@@ -30,6 +30,9 @@ class PhasedTraffic:
     increasing start cycles; the first phase must start at cycle 0.
     """
 
+    #: Compatible with the SoA datapath: only calls Terminal.offer().
+    soa_safe = True
+
     def __init__(
         self,
         network: "Network",
