@@ -66,8 +66,69 @@ def test_perf_simulation_cycles_idle(benchmark):
     def run_chunk():
         sim.run(1000)
 
-    benchmark.pedantic(run_chunk, rounds=5, iterations=1)
+    # iterations=10: with cycle skip-ahead an idle chunk is only a few
+    # microseconds, so single-call rounds are all timer jitter.
+    benchmark.pedantic(run_chunk, rounds=10, iterations=10)
     assert net.total_injected_flits() == 0
+
+
+def test_perf_simulation_cycles_idle_16x16(benchmark):
+    """Idle cycles at target scale: the headline for cycle skip-ahead.
+
+    With nothing in flight the engine (repro.network.skip) jumps the clock
+    straight to the end of each chunk; the warm-up round keeps the one-time
+    lazy SoA compile out of the timings.
+    """
+    topo = HyperX((16, 16), 1)
+    net = Network(topo, make_algorithm("DOR", topo), default_config())
+    sim = Simulator(net)
+
+    def run_chunk():
+        sim.run(1000)
+
+    benchmark.pedantic(run_chunk, rounds=10, iterations=10, warmup_rounds=1)
+    assert net.total_injected_flits() == 0
+
+
+def test_perf_simulation_fault_settling(benchmark):
+    """Fault-injection settling transient: burst, degrade, long quiet drain.
+
+    Each chunk is self-contained (fresh traffic + injector; the degrade is
+    restored before the chunk ends) so rounds are statistically identical.
+    The quiet tail dominates, tracking how well the engine compresses the
+    mostly-idle regime of incremental-fault sweeps.
+    """
+    from repro.faults import DegradedTopology, FaultSchedule, FaultSet
+    from repro.faults.inject import FaultInjector
+
+    topo = DegradedTopology(HyperX((8, 8), 1))
+    net = Network(topo, make_algorithm("DimWAR", topo), default_config())
+    sim = Simulator(net)
+
+    def run_chunk():
+        base = sim.cycle
+        traffic = SyntheticTraffic(
+            net, UniformRandom(topo.num_terminals), rate=0.02, seed=7
+        )
+        sim.add_process(traffic)
+        schedule = FaultSchedule(
+            FaultSchedule.from_faultset(
+                FaultSet().degrade_link(9, 3, 4), cycle=base + 40
+            ).sorted_events()
+            + FaultSchedule.from_faultset(
+                FaultSet().degrade_link(9, 3, 1), cycle=base + 400
+            ).sorted_events()
+        )
+        injector = FaultInjector(net, schedule)
+        sim.add_process(injector)
+        sim.run(60)
+        traffic.stop()
+        sim.remove_process(traffic)
+        sim.run(5940)
+        sim.remove_process(injector)
+
+    benchmark.pedantic(run_chunk, rounds=10, iterations=1, warmup_rounds=1)
+    assert sim.network.total_ejected_flits() > 0
 
 
 def test_perf_traffic_generation(benchmark):

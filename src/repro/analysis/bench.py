@@ -1,8 +1,10 @@
 """Perf microbenchmark harness behind ``python -m repro bench``.
 
-Runs the same six simulator microbenchmarks as
+Runs the same eight simulator microbenchmarks as
 ``benchmarks/test_perf_simulator.py`` (network construction, loaded and
-idle simulation cycles, traffic generation, one adaptive routing decision)
+idle simulation cycles — both at small and at 16x16 target scale — a
+fault-injection settling transient, traffic generation, one adaptive
+routing decision)
 without the pytest-benchmark machinery, and regenerates the repo's recorded
 ``BENCH_sim.json`` in its ``repro-perf-summary/1`` schema.  The
 ``seed_min_s`` baselines (the very first commit's timings) are carried over
@@ -114,7 +116,87 @@ def _bench_cycles_idle():
     def run_chunk():
         sim.run(1000)
 
-    return run_chunk, {"rounds": 5, "iterations": 1, "cycles_per_chunk": 1000}
+    # iterations=10: with cycle skip-ahead an idle chunk is only a few
+    # microseconds, so single-call rounds are all timer jitter.
+    return run_chunk, {"rounds": 10, "iterations": 10, "cycles_per_chunk": 1000}
+
+
+def _bench_cycles_idle_16x16():
+    """Idle cycles at the ROADMAP's target scale (16x16, 256 routers).
+
+    The headline scenario for cycle skip-ahead (:mod:`repro.network.skip`):
+    with nothing in flight the engine jumps the clock straight to the end
+    of each ``run(1000)`` chunk, so this measures the cost of *compressed*
+    time.  The warm-up round keeps the one-time lazy SoA compile out of
+    the timings."""
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..network.network import Network
+    from ..network.simulator import Simulator
+    from ..topology.hyperx import HyperX
+
+    topo = HyperX((16, 16), 1)
+    net = Network(topo, make_algorithm("DOR", topo), default_config())
+    sim = Simulator(net)
+
+    def run_chunk():
+        sim.run(1000)
+
+    return run_chunk, {
+        "rounds": 10, "iterations": 10, "warmup_rounds": 1,
+        "cycles_per_chunk": 1000,
+    }
+
+
+def _bench_fault_settling():
+    """A fault-injection settling transient: a short low-rate burst, a
+    mid-drain degrade event, then a long quiescent settling window.
+
+    Each chunk is self-contained (fresh traffic + injector; the degrade is
+    restored to factor 1 before the chunk ends) so rounds are statistically
+    identical.  The quiet tail dominates the simulated cycles, so this
+    tracks how well the engine compresses mostly-idle fault experiments —
+    the regime of the paper's incremental-fault sweeps."""
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..faults import DegradedTopology, FaultSchedule, FaultSet
+    from ..faults.inject import FaultInjector
+    from ..network.network import Network
+    from ..network.simulator import Simulator
+    from ..topology.hyperx import HyperX
+    from ..traffic.injection import SyntheticTraffic
+    from ..traffic.patterns import UniformRandom
+
+    topo = DegradedTopology(HyperX((8, 8), 1))
+    net = Network(topo, make_algorithm("DimWAR", topo), default_config())
+    sim = Simulator(net)
+
+    def run_chunk():
+        base = sim.cycle
+        traffic = SyntheticTraffic(
+            net, UniformRandom(topo.num_terminals), rate=0.02, seed=7
+        )
+        sim.add_process(traffic)
+        schedule = FaultSchedule(
+            FaultSchedule.from_faultset(
+                FaultSet().degrade_link(9, 3, 4), cycle=base + 40
+            ).sorted_events()
+            + FaultSchedule.from_faultset(
+                FaultSet().degrade_link(9, 3, 1), cycle=base + 400
+            ).sorted_events()
+        )
+        injector = FaultInjector(net, schedule)
+        sim.add_process(injector)
+        sim.run(60)
+        traffic.stop()
+        sim.remove_process(traffic)
+        sim.run(5940)
+        sim.remove_process(injector)
+
+    return run_chunk, {
+        "rounds": 10, "iterations": 1, "warmup_rounds": 1,
+        "cycles_per_chunk": 6000,
+    }
 
 
 def _bench_traffic_generation():
@@ -167,8 +249,10 @@ SCENARIOS = {
     "test_perf_network_construction": _bench_network_construction,
     "test_perf_routing_decision": _bench_routing_decision,
     "test_perf_simulation_cycles_idle": _bench_cycles_idle,
+    "test_perf_simulation_cycles_idle_16x16": _bench_cycles_idle_16x16,
     "test_perf_simulation_cycles_loaded": _bench_cycles_loaded,
     "test_perf_simulation_cycles_loaded_16x16": _bench_cycles_loaded_16x16,
+    "test_perf_simulation_fault_settling": _bench_fault_settling,
     "test_perf_traffic_generation": _bench_traffic_generation,
 }
 

@@ -215,6 +215,42 @@ def diff_soa_on_off(
     return compare_sweeps("soa-on-vs-off", on, off)
 
 
+def diff_skip_on_off(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "OmniWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+) -> OracleReport:
+    """Cycle skip-ahead enabled vs per-cycle stepping, byte-identical.
+
+    The event-compressing engine (``RouterConfig.cycle_skip``,
+    :mod:`repro.network.skip`) advances the clock past provably inert
+    cycles instead of executing them, and the traffic processes scan their
+    Bernoulli streams ahead to bound their next injection.  Nothing about
+    the measured sweep may move: the scan must consume the RNG in exact
+    per-cycle order, every fault event and sampler window boundary must
+    land on its scheduled cycle, and every skipped cycle must truly have
+    been inert — any violation shifts injections or deliveries and this
+    comparison catches it.  The low rate point matters most here: sparser
+    traffic means longer inert gaps, so the compressed path does real
+    jumping while the loaded point exercises the veto rules.
+    """
+    cfg_on = default_config()
+    cfg_off = SimConfig(router=RouterConfig(cycle_skip=False)).validated()
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    on = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed, cfg=cfg_on
+    )
+    t2, a2, p2 = _fresh(widths, terminals_per_router, algorithm, pattern)
+    off = sweep_load(
+        t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed, cfg=cfg_off
+    )
+    return compare_sweeps("skip-on-vs-off", on, off)
+
+
 def diff_pristine_empty_faultset(
     widths=(4, 4),
     terminals_per_router: int = 1,
@@ -302,6 +338,7 @@ def run_all_oracles(
         diff_cache_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
         diff_kernel_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
         diff_soa_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
+        diff_skip_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
         diff_pristine_empty_faultset(
             widths=widths, rates=rates, total_cycles=total_cycles
         ),

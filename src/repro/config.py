@@ -53,6 +53,14 @@ class RouterConfig:
     #: with observers attached (sanitizer process, tracer hooks) fall back
     #: to the object path automatically regardless of this flag.
     soa_core: bool = True
+    #: Compress runs of quiescent cycles: when no terminal is active, jump
+    #: the clock straight to the earliest cycle at which anything can happen
+    #: (:mod:`repro.network.skip`).  Purely an optimisation — byte-identical
+    #: results, verified by the repro.check skip-on/off differential oracle.
+    #: Runs with a process that must observe every cycle (anything not
+    #: marked ``skip_safe``, e.g. the sanitizer) fall back to per-cycle
+    #: stepping automatically regardless of this flag.
+    cycle_skip: bool = True
 
 
 @dataclass

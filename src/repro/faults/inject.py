@@ -58,6 +58,9 @@ class FaultInjector:
     #: fused kernels share with the object facade, so both engines observe
     #: an injected fault identically from the same cycle on.
     soa_safe = True
+    #: Compatible with cycle skip-ahead (repro.network.skip): the schedule
+    #: is sorted, so :meth:`next_wakeup` bounds the next mutation exactly.
+    skip_safe = True
 
     def __init__(self, network: "Network", schedule: FaultSchedule):
         state = getattr(network, "fault_state", None)
@@ -75,6 +78,20 @@ class FaultInjector:
     def done(self) -> bool:
         """True once every scheduled event has been applied."""
         return self._next >= len(self.events)
+
+    def next_wakeup(self, cycle: int) -> int | None:
+        """Cycle of the next unapplied event; None once the schedule is done.
+
+        May return a cycle below ``cycle`` if an event is overdue (the
+        engine never skips an executed cycle's call, so this only happens
+        when the injector is registered after its first event's cycle);
+        the skip engine treats a stale bound as "run the next cycle", at
+        which point :meth:`__call__` catches up exactly as per-cycle
+        stepping would.
+        """
+        if self._next >= len(self.events):
+            return None
+        return self.events[self._next].cycle
 
     def __call__(self, cycle: int) -> None:
         if self._next >= len(self.events) or self.events[self._next].cycle > cycle:

@@ -59,6 +59,9 @@ class Channel:
         #: transition and refreshed after each delivery pass; pops by other
         #: consumers (the obs profiler's own loop, :meth:`deliver`) can only
         #: raise the true head ready-cycle, so the bound stays conservative.
+        #: Cycle skip-ahead (:mod:`repro.network.skip`) also feeds this into
+        #: its global next-event bound: a stale-low value merely vetoes one
+        #: jump (the engine executes the next cycle), never skips a delivery.
         self._next_ready = 0
         #: activity registry (dict used as an ordered set) shared with the
         #: owning network; None for standalone channels driven directly.

@@ -84,7 +84,11 @@ class Network:
         # Channels register on the empty->busy push transition; routers and
         # terminals are woken by flit delivery / packet offers.  The
         # simulator visits only registered entries, so idle components cost
-        # nothing per cycle (see DESIGN.md, performance notes).
+        # nothing per cycle (see DESIGN.md, performance notes).  Cycle
+        # skip-ahead (repro.network.skip) goes one further: it only jumps
+        # the clock while _active_terminals is empty, and derives its
+        # global next-event bound from the members of the other two sets —
+        # so membership here is also the skip engine's eligibility signal.
         self._active_channels: dict[Channel, None] = {}
         self._active_routers: dict[Router, None] = {}
         self._active_terminals: dict[Terminal, None] = {}

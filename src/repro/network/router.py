@@ -208,6 +208,14 @@ class Router:
         # and a port whose staged heads are all still in the crossbar (or
         # whose degraded link is in its min_gap window) is skipped until
         # `_stage_ready`.
+        # Cycle skip-ahead (repro.network.skip) reuses these structures as
+        # its router-level event bound: awake `_active_in` entries and
+        # `_active_out` ports with an empty staging queue (cleanup pending)
+        # veto jumping entirely; otherwise the min over `_stage_ready` of
+        # active ports bounds when this router can next do work.  The
+        # round-robin arbiter leaves `_stage_ready` untouched on a no-grant
+        # pass, keeping it <= cycle — a standing veto, so staleness is
+        # conservative there too.
         self._asleep: set[tuple[int, int]] = set()
         self._credit_waiter: list[list[tuple[int, int] | None]] = [
             [None] * self.num_vcs for _ in range(self.radix)

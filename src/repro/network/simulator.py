@@ -33,16 +33,31 @@ is a consistency point: every credit consume/restore and buffer push/pop
 pair has completed, so cross-component invariants (flit conservation,
 credit reconciliation) hold exactly.  An unregistered hook costs nothing —
 the run loop touches only the registered list.
+
+On top of the activity sets, both engines *compress* runs of inert cycles:
+when no terminal is active and every process can bound its next wakeup
+(:mod:`repro.network.skip`), the clock jumps straight to the earliest cycle
+at which anything can happen instead of iterating the gap.  Eligibility is
+re-checked per ``run()`` and recorded in ``skip_active`` /
+``skip_fallback_reason``, mirroring the SoA dispatch; results are
+byte-identical either way (the skip-on-vs-off oracle in ``repro.check``
+proves it), so compression is invisible except in wall-clock time.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from .skip import next_event_bound, skip_fallback_reason
 from .soa import SoACore, fallback_reason
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
+
+#: Bound-search horizon for :meth:`Simulator.next_event_cycle` — far enough
+#: that any real schedule beats it; "nothing before the horizon" reads as
+#: "no computable event" (None).
+_HORIZON = 1 << 62
 
 
 class Simulator:
@@ -60,6 +75,11 @@ class Simulator:
         self._soa: SoACore | None = None
         self.soa_active = False
         self.soa_fallback_reason: str | None = None
+        # Cycle skip-ahead dispatch state (repro.network.skip), mirroring
+        # the SoA pair above: whether the last run() was allowed to
+        # compress inert cycles, and if not, why.
+        self.skip_active = False
+        self.skip_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -92,7 +112,16 @@ class Simulator:
         consecutive ``run()`` calls (e.g. a sanitizer attached mid-stream)
         without affecting results; the soa-vs-object differential oracle
         in repro.check certifies bit-identical behaviour.
+
+        Orthogonally, either engine may compress inert cycles
+        (:mod:`repro.network.skip`) when every registered process supports
+        it — checked per call the same way and recorded in
+        ``skip_active`` / ``skip_fallback_reason``.
         """
+        skip_reason = skip_fallback_reason(self)
+        skip = skip_reason is None
+        self.skip_active = skip
+        self.skip_fallback_reason = skip_reason
         reason = fallback_reason(self)
         if reason is None:
             core = self._soa
@@ -100,7 +129,7 @@ class Simulator:
                 core = self._soa = SoACore(self)
             self.soa_active = True
             self.soa_fallback_reason = None
-            core.run(cycles)
+            core.run(cycles, skip)
             return
         self.soa_active = False
         self.soa_fallback_reason = reason
@@ -167,6 +196,41 @@ class Simulator:
                     drained.clear()
             cycle += 1
             self.cycle = cycle
+            # Cycle skip-ahead (repro.network.skip): with no terminal
+            # active, jump straight to the earliest cycle at which anything
+            # can happen.  Loaded cycles pay one falsy test here.
+            if skip and not active_terminals and cycle < end:
+                bound = next_event_bound(network, processes, cycle, end)
+                if bound > cycle:
+                    cycle = bound
+                    self.cycle = bound
+
+    def next_event_cycle(self) -> int | None:
+        """Earliest cycle at (or after) ``self.cycle`` at which the
+        simulation can change state, or None when no bound is computable.
+
+        Computed from simulator state and the process ``next_wakeup``
+        protocol alone — deliberately independent of the
+        ``RouterConfig.cycle_skip`` flag, so event-aware stepping (see
+        :meth:`run_until`) visits identical cycle boundaries whether or
+        not the engine is allowed to compress, which is what the
+        skip-on-vs-off differential oracle relies on.
+
+        None means either "unknown" (a registered process does not expose
+        ``next_wakeup``) or "nothing scheduled" (a fully idle simulation);
+        callers must treat both as "assume anything may happen".
+        """
+        cycle = self.cycle
+        network = self.network
+        if network._active_terminals:
+            return cycle
+        processes = self.processes
+        for proc in processes:
+            if getattr(proc, "next_wakeup", None) is None:
+                return None
+        far = cycle + _HORIZON
+        bound = next_event_bound(network, processes, cycle, far)
+        return bound if bound < far else None
 
     def run_until(
         self,
@@ -174,14 +238,46 @@ class Simulator:
         max_cycles: int,
         check_every: int = 64,
     ) -> bool:
-        """Run until ``predicate()`` is true, checking every ``check_every``
-        cycles; returns False on timeout without re-evaluating the predicate.
+        """Run until ``predicate()`` is true, returning False on timeout
+        without re-evaluating the predicate.
+
+        **Predicate contract.**  The predicate must be a function of
+        *simulation state* (queue contents, counters, quiescence …), not of
+        the raw cycle number: it is evaluated at every *advanced-to* cycle
+        boundary — every ``check_every`` cycles while events are dense, and
+        exactly at the next event (per :meth:`next_event_cycle`) when the
+        next event lies beyond the grid — never at each integer cycle in
+        between.  Skipped boundaries are provably inert, so a state
+        predicate cannot change value across one; a predicate on the bare
+        cycle number may be observed only on the evaluation grid:
+
+        >>> from repro.config import SimConfig
+        >>> from repro.core.registry import make_algorithm
+        >>> from repro.network.network import Network
+        >>> from repro.topology.hyperx import HyperX
+        >>> topo = HyperX((2,), 1)
+        >>> net = Network(topo, make_algorithm("DOR", topo), SimConfig())
+        >>> sim = Simulator(net)
+        >>> sim.run_until(lambda: sim.cycle >= 100, max_cycles=1000)
+        True
+        >>> sim.cycle  # idle net: seen on the check_every=64 grid, not at 100
+        128
+
+        The evaluation schedule depends only on simulator state, never on
+        whether compression is enabled, so runs are byte-identical with
+        ``cycle_skip`` on or off.
         """
         deadline = self.cycle + max_cycles
         if max_cycles <= 0:
             return predicate()
         while self.cycle < deadline:
-            self.run(min(check_every, deadline - self.cycle))
+            target = min(self.cycle + check_every, deadline)
+            nxt = self.next_event_cycle()
+            if nxt is not None and nxt > target:
+                # Nothing can happen before nxt: stretch the chunk so the
+                # next evaluation lands on a boundary where state moved.
+                target = min(nxt, deadline)
+            self.run(target - self.cycle)
             if predicate():
                 return True
         return False

@@ -1,0 +1,129 @@
+"""Event-compressing scheduler: cycle skip-ahead.
+
+The activity sets (:mod:`repro.network.network`) make an idle cycle cheap;
+this module makes runs of idle cycles *free* by not executing them at all.
+After each executed cycle, when no terminal is active, the engine asks
+:func:`next_event_bound` for the earliest future cycle at which anything can
+happen and advances the clock straight there.  The bound is the min over
+lower bounds the simulator already maintains for other reasons:
+
+* ``Channel._next_ready`` — the earliest cycle a busy channel's head item
+  can deliver (exact after any delivery pass, conservative after a push);
+* ``Router._stage_ready[port]`` — the earliest cycle an output port with
+  staged payload can emit (earliest staged head still in the crossbar, or
+  the end of a degraded link's ``min_gap`` window);
+* process wakeups — every registered process that declares
+  ``skip_safe = True`` must also expose ``next_wakeup(cycle) -> int | None``
+  returning the earliest cycle at (or after) ``cycle`` at which calling it
+  could change simulation state, or ``None`` for "never again".  Traffic
+  generators scan their Bernoulli draws ahead (in exact per-cycle RNG
+  order — see :mod:`repro.traffic.injection`), the fault injector reports
+  its next scheduled event, and the time-series sampler its next window
+  boundary.
+
+Every bound is *conservative*: a stale-low value (e.g. ``_stage_ready``
+zeroed by ``Network.invalidate_route_caches``) merely vetoes the jump for
+one cycle, after which the executed pass refreshes it.  Landing early is
+always safe — the engine re-checks and re-jumps — so correctness never
+depends on a bound being tight.
+
+Two veto rules keep the executed-cycle state in lockstep with per-cycle
+stepping:
+
+* a router with any *awake* active input VC may compute routes or forward
+  on the very next cycle, so it pins the bound to "now";
+* a router holding an ``_active_out`` entry whose staged count is zero is
+  one step away from dropping out of the activity sets; it is stepped (not
+  skipped over) so ``Network.quiescent`` flips on the same cycle under
+  both modes.
+
+Eligibility mirrors the SoA pattern (:func:`repro.network.soa.fallback_reason`):
+:func:`skip_fallback_reason` is re-checked on every ``run()`` call, and any
+process not marked ``skip_safe`` — the runtime sanitizer, the application
+engine — routes the run through plain per-cycle stepping, with the reason
+recorded in ``Simulator.skip_fallback_reason``.  The ``skip-on-vs-off``
+differential oracle in ``python -m repro check`` replays a sweep under both
+modes and demands byte-identical curves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+    from .simulator import Simulator
+
+
+def skip_fallback_reason(sim: "Simulator") -> str | None:
+    """Why this ``run()`` call must step every cycle; None when skip-ahead
+    applies.
+
+    Checked per ``run()`` call (one flag read plus one scan over the
+    registered processes) so observers attached or detached between runs
+    take effect immediately.  A process opts in by exposing
+    ``skip_safe = True`` *and* implementing ``next_wakeup`` — the bundled
+    traffic generators, the fault injector, and the time-series sampler
+    do; the runtime sanitizer deliberately does not, which keeps checked
+    runs on the per-cycle reference path the oracle compares against.
+    """
+    if not sim.network.cfg.router.cycle_skip:
+        return "RouterConfig.cycle_skip is off"
+    for proc in sim.processes:
+        if not getattr(proc, "skip_safe", False):
+            return f"process {type(proc).__name__} is not marked skip_safe"
+    return None
+
+
+def next_event_bound(
+    network: "Network",
+    processes: list[Callable[[int], None]],
+    cycle: int,
+    end: int,
+) -> int:
+    """Earliest cycle in ``[cycle, end]`` at which anything can happen.
+
+    ``cycle`` is the next cycle the engine would execute; a return value of
+    ``cycle`` means "this cycle must run" (no jump), a value ``B > cycle``
+    means cycles ``cycle .. B-1`` are provably inert and the clock may move
+    straight to ``B``.  The caller guarantees no terminal is active.
+
+    The result is a conservative lower bound built from state the simulator
+    maintains anyway (see the module docstring); each contributing bound at
+    or below ``cycle`` short-circuits to an immediate veto.
+    """
+    bound = end
+    for ch in network._active_channels:
+        nr = ch._next_ready
+        if nr < bound:
+            if nr <= cycle:
+                return cycle
+            bound = nr
+    for r in network._active_routers:
+        ai = r._active_in
+        # An awake input VC may route or forward next cycle: veto.  (All
+        # asleep = the input pass is a no-op until a credit delivery —
+        # already bounded by its channel — wakes one.)
+        if ai and len(r._asleep) < len(ai):
+            return cycle
+        if r._active_out:
+            staged_count = r._staged_count
+            stage_ready = r._stage_ready
+            for port in r._active_out:
+                if staged_count[port] == 0:
+                    # Cleanup pending: the next output pass drops this
+                    # entry (and maybe the router) from the activity sets.
+                    # Step it so quiescence flips on the per-cycle schedule.
+                    return cycle
+                sr = stage_ready[port]
+                if sr < bound:
+                    if sr <= cycle:
+                        return cycle
+                    bound = sr
+    for proc in processes:
+        w = proc.next_wakeup(cycle)
+        if w is not None and w < bound:
+            if w <= cycle:
+                return cycle
+            bound = w
+    return bound

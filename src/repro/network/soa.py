@@ -57,6 +57,8 @@ from bisect import insort
 from collections import deque
 from typing import TYPE_CHECKING
 
+from .skip import next_event_bound
+
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
     from .router import Router
@@ -519,14 +521,15 @@ class SoACore:
             t._soa_step = _compile_terminal(t)
         _compile_channels(net)
 
-    def run(self, cycles: int) -> None:
+    def run(self, cycles: int, skip: bool = False) -> None:
         """Advance ``cycles`` cycles through the fused kernels.
 
         Structure and ordering are cycle-exact with ``Simulator.run``'s
         object loop: deliveries, then processes, then terminals (snapshot
         iteration — a delivery listener may wake a terminal mid-pass),
         then routers, with the same deferred removal from the same shared
-        activity dicts.
+        activity dicts — including the same cycle skip-ahead step
+        (:mod:`repro.network.skip`) when the dispatcher passes ``skip``.
         """
         sim = self.sim
         network = self.network
@@ -630,3 +633,9 @@ class SoACore:
                     drained.clear()
             cycle += 1
             sim.cycle = cycle
+            # Cycle skip-ahead, identical to the object loop's step.
+            if skip and not active_terminals and cycle < end:
+                bound = next_event_bound(network, processes, cycle, end)
+                if bound > cycle:
+                    cycle = bound
+                    sim.cycle = bound

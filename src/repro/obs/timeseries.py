@@ -101,6 +101,31 @@ class WindowSample:
         return self.accepted_flits / self.span if self.span else 0.0
 
 
+class _SamplerProc:
+    """The sampler's registered process: a tiny callable wrapper so the
+    skip-ahead protocol attributes live on the process object itself (a
+    bare bound method cannot carry them)."""
+
+    __slots__ = ("_sampler",)
+
+    #: Compatible with cycle skip-ahead (repro.network.skip): windows close
+    #: on exact boundaries because next_wakeup names the boundary cycle, so
+    #: the engine always lands on it.  Deliberately *not* soa_safe — a
+    #: sampled run keeps taking the reference object path, as before.
+    skip_safe = True
+
+    def __init__(self, sampler: "TimeSeriesSampler"):
+        self._sampler = sampler
+
+    def __call__(self, cycle: int) -> None:
+        self._sampler._on_cycle(cycle)
+
+    def next_wakeup(self, cycle: int) -> int | None:
+        """The next window boundary (start + window), always scheduled."""
+        s = self._sampler
+        return s._window_start + s.window
+
+
 class TimeSeriesSampler:
     """Simulator process producing a :class:`WindowSample` per window."""
 
@@ -112,7 +137,7 @@ class TimeSeriesSampler:
         self.window = window
         self.samples: list[WindowSample] = []
         self._attached = False
-        self._proc = self._on_cycle  # bound once (identity-based removal)
+        self._proc = _SamplerProc(self)  # bound once (identity-based removal)
         self._delivery_cb = self._on_delivery
         self._latencies: list[int] = []
         self._packets = 0
@@ -167,7 +192,9 @@ class TimeSeriesSampler:
         self._probe.start_window(cycle)
 
     def _on_cycle(self, cycle: int) -> None:
-        # The process runs every cycle, so the boundary is hit exactly.
+        # Boundaries are hit exactly under both stepping modes: per-cycle
+        # runs call this every cycle, and the skip engine lands on (never
+        # past) _SamplerProc.next_wakeup's boundary bound.
         if cycle - self._window_start >= self.window:
             self._close(cycle)
 

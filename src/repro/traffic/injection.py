@@ -9,6 +9,21 @@ network cannot accept them, which is what the saturation detector observes.
 The per-cycle Bernoulli draws are vectorized over terminals with NumPy (the
 generation loop showed up in profiles of early versions; see the optimization
 guide's "vectorize the measured bottleneck" rule).
+
+**Skip-ahead support.**  The cycle-compressing engine
+(:mod:`repro.network.skip`) only calls a process on cycles where something
+can happen, so an injection process must be able to *bound* its next
+injection without being ticked through the gap.  :class:`_ScanningTraffic`
+provides that for every generator here: draws are pinned to cycle numbers
+via a scan cursor (``_scan_cycle`` = highest cycle whose per-cycle RNG block
+has been drawn), ``next_wakeup`` scans blocks forward — in exact per-cycle
+order, one block per cycle — until it finds a hit (buffered in ``_pending``
+with its destination/size draws deferred to apply time) or exhausts a small
+lookahead window, and ``__call__`` applies the buffered hit when its cycle
+executes.  The RNG consumption order is therefore *identical* to per-cycle
+operation: one Bernoulli block per cycle in cycle order, with dest/size
+draws interleaved exactly at hit cycles — which is what keeps skip-on and
+skip-off runs (and the pre-skip golden traces) byte-identical.
 """
 
 from __future__ import annotations
@@ -25,12 +40,112 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..network.network import Network
 
 
-class SyntheticTraffic:
-    """A simulator process generating synthetic traffic on every terminal."""
+class _ScanningTraffic:
+    """Shared machinery making an injection process skip-safe.
+
+    Subclasses implement ``_scan_block(cycle) -> ndarray`` (draw exactly the
+    RNG block per-cycle operation would draw for ``cycle`` and return the
+    hit sources, possibly empty) and ``_apply(cycle, srcs)`` (draw dest/size
+    and offer the packets — the only point that touches network state), and
+    may override ``_dormant()`` for configurations that provably never
+    inject (those must not consume RNG, matching per-cycle behaviour).
+
+    The scan cursor anchors lazily at first contact (``__call__`` or
+    ``next_wakeup``), so a process attached mid-run behaves exactly like the
+    pre-scan code: its first block is drawn for its first observed cycle.
+    """
 
     #: Compatible with the SoA datapath (repro.network.soa): only calls
     #: Terminal.offer(), which both engines handle identically.
     soa_safe = True
+    #: Compatible with cycle skip-ahead (repro.network.skip): next_wakeup
+    #: bounds the next injection by scanning the Bernoulli stream forward.
+    skip_safe = True
+    #: Cycles next_wakeup scans past ``cycle`` before settling for the
+    #: conservative "might inject right after the window" bound.  Purely a
+    #: work/precision trade-off — any value is correct.
+    _lookahead = 64
+
+    def _init_scan(self) -> None:
+        self.enabled = True
+        self.packets_generated = 0
+        self.flits_generated = 0
+        # Highest cycle whose per-cycle RNG block has been drawn; None
+        # until the first contact anchors the cursor.
+        self._scan_cycle: int | None = None
+        # At most one buffered scan hit: (cycle, sources).  Dest/size draws
+        # happen at apply time, preserving per-cycle RNG order.
+        self._pending: tuple[int, np.ndarray] | None = None
+
+    def _dormant(self) -> bool:
+        return False
+
+    def _scan_block(self, cycle: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _apply(self, cycle: int, srcs: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, cycle: int) -> None:
+        if not self.enabled or self._dormant():
+            return
+        if self._scan_cycle is None:
+            self._scan_cycle = cycle - 1
+        p = self._pending
+        if p is not None:
+            if p[0] == cycle:
+                self._pending = None
+                self._apply(cycle, p[1])
+                return
+            if p[0] < cycle:
+                raise RuntimeError(
+                    f"engine skipped past a buffered injection at cycle "
+                    f"{p[0]} (now at {cycle}): next_wakeup contract violated"
+                )
+            return  # buffered hit lies ahead; nothing to do this cycle
+        while self._scan_cycle < cycle:
+            c = self._scan_cycle + 1
+            srcs = self._scan_block(c)
+            self._scan_cycle = c
+            if len(srcs):
+                if c < cycle:
+                    raise RuntimeError(
+                        f"engine skipped an injection at cycle {c} (now at "
+                        f"{cycle}): next_wakeup contract violated"
+                    )
+                self._apply(c, srcs)
+
+    def next_wakeup(self, cycle: int) -> int | None:
+        """Earliest cycle >= ``cycle`` at which this process may inject.
+
+        Scans (and thereby draws) Bernoulli blocks forward up to
+        ``_lookahead`` cycles; a hit is buffered for ``__call__`` to apply
+        when its cycle executes.  Returns a conservative bound — one past
+        the scanned range — when the window is dry.
+        """
+        if not self.enabled or self._dormant():
+            return None
+        if self._scan_cycle is None:
+            self._scan_cycle = cycle - 1
+        p = self._pending
+        if p is not None:
+            return p[0]
+        limit = cycle + self._lookahead
+        while self._scan_cycle < limit:
+            c = self._scan_cycle + 1
+            srcs = self._scan_block(c)
+            self._scan_cycle = c
+            if len(srcs):
+                self._pending = (c, srcs)
+                return c
+        return self._scan_cycle + 1
+
+    def stop(self) -> None:
+        self.enabled = False
+
+
+class SyntheticTraffic(_ScanningTraffic):
+    """A simulator process generating synthetic traffic on every terminal."""
 
     def __init__(
         self,
@@ -51,9 +166,7 @@ class SyntheticTraffic:
         self.rate = rate
         self.size_dist = size_dist or UniformSize(1, 16)
         self.rng = np.random.default_rng(seed)
-        self.enabled = True
-        self.packets_generated = 0
-        self.flits_generated = 0
+        self._init_scan()
         self._num_terminals = network.topology.num_terminals
         #: restrict generation to these terminals (fault experiments exclude
         #: the detached terminals of statically-failed routers); None keeps
@@ -67,15 +180,17 @@ class SyntheticTraffic:
                 raise ValueError("source terminal id out of range")
         self._p = rate / self.size_dist.mean
 
-    def __call__(self, cycle: int) -> None:
-        if not self.enabled or self._p <= 0.0:
-            return
+    def _dormant(self) -> bool:
+        return self._p <= 0.0
+
+    def _scan_block(self, cycle: int) -> np.ndarray:
         if self._sources is None:
             draws = self.rng.random(self._num_terminals)
-            srcs = np.nonzero(draws < self._p)[0]
-        else:
-            draws = self.rng.random(self._sources.size)
-            srcs = self._sources[draws < self._p]
+            return np.nonzero(draws < self._p)[0]
+        draws = self.rng.random(self._sources.size)
+        return self._sources[draws < self._p]
+
+    def _apply(self, cycle: int, srcs: np.ndarray) -> None:
         for src in srcs:
             src = int(src)
             dst = self.pattern.dest(src, self.rng)
@@ -85,11 +200,8 @@ class SyntheticTraffic:
             self.packets_generated += 1
             self.flits_generated += size
 
-    def stop(self) -> None:
-        self.enabled = False
 
-
-class BurstyTraffic:
+class BurstyTraffic(_ScanningTraffic):
     """On/off (two-state Markov) injection process.
 
     Each terminal alternates between an *on* state, injecting at
@@ -99,9 +211,13 @@ class BurstyTraffic:
     so the long-run offered load equals ``rate``.  Burstiness stresses the
     adaptive algorithms' transient behaviour beyond what the Bernoulli
     process of :class:`SyntheticTraffic` exercises.
-    """
 
-    soa_safe = True  # only calls Terminal.offer(); see SyntheticTraffic
+    The on/off state evolves one step per scanned cycle (never dormant —
+    even at rate 0 the flip draws must tick, exactly as per-cycle
+    operation consumes them), so ``fraction_on`` reflects the highest
+    scanned cycle, which may run ahead of the simulator clock by up to the
+    scan lookahead while the network is quiet.
+    """
 
     def __init__(
         self,
@@ -133,9 +249,7 @@ class BurstyTraffic:
         self.burst_length = burst_length
         self.size_dist = size_dist or UniformSize(1, 16)
         self.rng = np.random.default_rng(seed)
-        self.enabled = True
-        self.packets_generated = 0
-        self.flits_generated = 0
+        self._init_scan()
         n = network.topology.num_terminals
         self._on = self.rng.random(n) < duty_cycle  # stationary start
         self._p_on = rate / duty_cycle / self.size_dist.mean
@@ -144,15 +258,15 @@ class BurstyTraffic:
         self._leave_off = 1.0 / max(1.0, off_length)
         self._num_terminals = n
 
-    def __call__(self, cycle: int) -> None:
-        if not self.enabled:
-            return
+    def _scan_block(self, cycle: int) -> np.ndarray:
         flips = self.rng.random(self._num_terminals)
         leave = np.where(self._on, self._leave_on, self._leave_off)
         self._on = np.logical_xor(self._on, flips < leave)
         draws = self.rng.random(self._num_terminals)
-        active = np.logical_and(self._on, draws < self._p_on)
-        for src in np.nonzero(active)[0]:
+        return np.nonzero(np.logical_and(self._on, draws < self._p_on))[0]
+
+    def _apply(self, cycle: int, srcs: np.ndarray) -> None:
+        for src in srcs:
             src = int(src)
             dst = self.pattern.dest(src, self.rng)
             size = self.size_dist.sample(self.rng)
@@ -165,6 +279,3 @@ class BurstyTraffic:
     @property
     def fraction_on(self) -> float:
         return float(np.mean(self._on))
-
-    def stop(self) -> None:
-        self.enabled = False

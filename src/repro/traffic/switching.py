@@ -17,21 +17,24 @@ import numpy as np
 
 from ..network.types import Packet
 from .base import TrafficPattern
+from .injection import _ScanningTraffic
 from .sizes import SizeDistribution, UniformSize
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.network import Network
 
 
-class PhasedTraffic:
+class PhasedTraffic(_ScanningTraffic):
     """Open-loop injection whose pattern follows a phase schedule.
 
     ``phases`` is a list of ``(start_cycle, pattern)`` with strictly
     increasing start cycles; the first phase must start at cycle 0.
-    """
 
-    #: Compatible with the SoA datapath: only calls Terminal.offer().
-    soa_safe = True
+    Skip-ahead compatible via :class:`~repro.traffic.injection._ScanningTraffic`;
+    the phase is resolved at *apply* time (when a scanned hit's cycle
+    executes), so scanning ahead across a phase boundary still stamps each
+    packet with the pattern of its injection cycle.
+    """
 
     def __init__(
         self,
@@ -57,9 +60,7 @@ class PhasedTraffic:
         self.rate = rate
         self.size_dist = size_dist or UniformSize(1, 16)
         self.rng = np.random.default_rng(seed)
-        self.enabled = True
-        self.packets_generated = 0
-        self.flits_generated = 0
+        self._init_scan()
         self._p = rate / self.size_dist.mean
         self._num_terminals = n
         self._phase_idx = 0
@@ -72,12 +73,16 @@ class PhasedTraffic:
             self._phase_idx += 1
         return self.phases[self._phase_idx][1]
 
-    def __call__(self, cycle: int) -> None:
-        if not self.enabled or self._p <= 0.0:
-            return
-        pattern = self.current_pattern(cycle)
+    def _dormant(self) -> bool:
+        return self._p <= 0.0
+
+    def _scan_block(self, cycle: int) -> np.ndarray:
         draws = self.rng.random(self._num_terminals)
-        for src in np.nonzero(draws < self._p)[0]:
+        return np.nonzero(draws < self._p)[0]
+
+    def _apply(self, cycle: int, srcs: np.ndarray) -> None:
+        pattern = self.current_pattern(cycle)
+        for src in srcs:
             src = int(src)
             dst = pattern.dest(src, self.rng)
             size = self.size_dist.sample(self.rng)
@@ -86,6 +91,3 @@ class PhasedTraffic:
             )
             self.packets_generated += 1
             self.flits_generated += size
-
-    def stop(self) -> None:
-        self.enabled = False

@@ -200,7 +200,7 @@ def test_bench_regenerates_summary(tmp_path, capsys):
         summary = json.load(f)
     assert summary["schema"] == "repro-perf-summary/1"
     names = [b["name"] for b in summary["benchmarks"]]
-    assert names == sorted(names) and len(names) == 6
+    assert names == sorted(names) and len(names) == 8
     assert all(b["min_s"] > 0 for b in summary["benchmarks"])
 
 

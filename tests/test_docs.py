@@ -123,13 +123,15 @@ def test_observability_doc_covers_the_cli():
 
 
 #: Modules whose docstrings promise runnable examples (ISSUE: fault modules
-#: plus the parallel engine, telemetry probe, and the observability layer).
+#: plus the parallel engine, telemetry probe, and the observability layer;
+#: the simulator's run_until contract rides along since the skip-ahead PR).
 DOCTEST_MODULES = [
     "repro.faults",
     "repro.faults.model",
     "repro.faults.degraded",
     "repro.faults.inject",
     "repro.analysis.parallel",
+    "repro.network.simulator",
     "repro.network.telemetry",
     "repro.check.sanitizer",
     "repro.check.oracle",
@@ -145,6 +147,23 @@ def test_module_doctests_pass(name):
     result = doctest.testmod(mod, verbose=False)
     assert result.attempted > 0, f"{name} has no doctest examples"
     assert result.failed == 0, f"{name} doctests failed"
+
+
+def test_performance_doc_covers_fallback_reasons():
+    """docs/PERFORMANCE.md's fallback matrix must name every
+    ``*_fallback_reason`` attribute the engines expose (the CI docs job
+    runs the same grep as a shell guard)."""
+    attrs = set()
+    src = os.path.join(ROOT, "src", "repro", "network")
+    for fn in sorted(os.listdir(src)):
+        if not fn.endswith(".py"):
+            continue
+        with open(os.path.join(src, fn)) as f:
+            attrs.update(re.findall(r"[a-z_]+_fallback_reason", f.read()))
+    assert attrs, "no *_fallback_reason attributes found under src/repro/network/"
+    text = _read(os.path.join("docs", "PERFORMANCE.md"))
+    missing = sorted(a for a in attrs if a not in text)
+    assert not missing, f"docs/PERFORMANCE.md does not document: {missing}"
 
 
 def test_public_algorithms_documented_in_algorithms_md():

@@ -1,0 +1,486 @@
+"""Tests for the event-compressing engine (repro.network.skip).
+
+Cycle skip-ahead is a pure optimisation: the clock jumps over provably
+inert cycles, and nothing measurable may move.  These tests pin that
+contract:
+
+* engine selection — compression is on by default, and every fallback
+  trigger (flag off, a process without ``skip_safe``, the sanitizer)
+  cleanly reverts to per-cycle stepping with a human-readable reason;
+* compression — an idle simulation really does execute a handful of
+  cycles per ``run()`` chunk (counted via a skip-safe probe process);
+* equivalence — fixed scenarios, Hypothesis-drawn topologies/loads/fault
+  schedules, drains, sampler windows, and the golden-trace scenario all
+  fingerprint identically with ``cycle_skip`` on vs off;
+* ``next_event_cycle()`` — idempotent, never behind the clock, and exact
+  for scheduled fault events;
+* ``run_until`` — the event-aware evaluation schedule is identical under
+  both modes (the documented predicate contract).
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import RouterConfig, SimConfig, default_config
+from repro.core.registry import make_algorithm
+from repro.faults import DegradedTopology
+from repro.faults.inject import FaultInjector
+from repro.faults.model import FaultEvent, FaultSchedule
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.skip import skip_fallback_reason
+from repro.topology.hyperx import HyperX
+from repro.traffic.injection import BurstyTraffic, SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.sizes import UniformSize
+
+
+def _config(skip: bool) -> SimConfig:
+    cfg = default_config(seed=0)
+    return replace(cfg, router=replace(cfg.router, cycle_skip=skip)).validated()
+
+
+def _build(
+    widths=(4, 4),
+    tpr=1,
+    algo="OmniWAR",
+    rate=0.3,
+    seed=1,
+    skip=True,
+    degraded=False,
+    bursty=False,
+):
+    topo = HyperX(widths, tpr)
+    if degraded:
+        topo = DegradedTopology(topo)
+    net = Network(topo, make_algorithm(algo, topo), _config(skip))
+    sim = Simulator(net)
+    cls = BurstyTraffic if bursty else SyntheticTraffic
+    kwargs = {} if bursty else {"size_dist": UniformSize(1, 8)}
+    sim.processes.append(
+        cls(net, UniformRandom(topo.num_terminals), rate, seed=seed, **kwargs)
+    )
+    return sim
+
+
+def _fingerprint(sim):
+    """Full observable counter state — any compression bug lands here."""
+    net = sim.network
+    traffic = sim.processes[0] if sim.processes else None
+    return {
+        "cycle": sim.cycle,
+        "generated": (
+            (traffic.packets_generated, traffic.flits_generated)
+            if traffic is not None
+            else None
+        ),
+        "injected": net.total_injected_flits(),
+        "ejected": net.total_ejected_flits(),
+        "in_flight": net.flits_in_flight(),
+        "backlog": net.total_backlog_flits(),
+        "terminals": [
+            (t.flits_injected, t.flits_ejected, t.packets_delivered)
+            for t in net.terminals
+        ],
+        "routers": [
+            (
+                r.flits_forwarded,
+                r.routes_computed,
+                r.route_stalls,
+                r.route_cache_hits,
+                r._jitter_idx,
+            )
+            for r in net.routers
+        ],
+        "channels": sorted(
+            (rec.label, rec.data.utilization_count, rec.credit.utilization_count)
+            for rec in net.links
+        ),
+        "credits": [
+            [tuple(tr.credits) for tr in r.credit_trackers if tr is not None]
+            for r in net.routers
+        ],
+    }
+
+
+class _CycleProbe:
+    """Skip-safe probe counting executed compute phases (no wakeup of its
+    own, so it never blocks a jump)."""
+
+    skip_safe = True
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, cycle):
+        self.calls += 1
+
+    def next_wakeup(self, cycle):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Engine selection and fallback
+# ---------------------------------------------------------------------------
+
+
+def test_skip_active_by_default():
+    sim = _build()
+    assert skip_fallback_reason(sim) is None
+    sim.run(50)
+    assert sim.skip_active
+    assert sim.skip_fallback_reason is None
+
+
+def test_flag_off_falls_back():
+    sim = _build(skip=False)
+    sim.run(50)
+    assert not sim.skip_active
+    assert "cycle_skip" in sim.skip_fallback_reason
+
+
+def test_unsafe_process_falls_back():
+    class Watcher:  # no skip_safe attribute -> per-cycle stepping
+        def __call__(self, cycle):
+            pass
+
+    sim = _build()
+    sim.add_process(Watcher())
+    sim.run(50)
+    assert not sim.skip_active
+    assert "Watcher" in sim.skip_fallback_reason
+
+
+def test_sanitizer_falls_back():
+    from repro.check.sanitizer import Sanitizer
+
+    sim = _build()
+    Sanitizer(sim).attach()
+    sim.run(50)
+    assert not sim.skip_active
+    assert "Sanitizer" in sim.skip_fallback_reason
+
+
+def test_fallback_rechecked_per_run():
+    """Attaching/detaching an incompatible process flips the mode between
+    run() calls, exactly like the SoA dispatch."""
+    sim = _build()
+    sim.run(10)
+    assert sim.skip_active
+    watcher = sim.add_process(lambda cycle: None)  # plain function: unsafe
+    sim.run(10)
+    assert not sim.skip_active
+    sim.remove_process(watcher)
+    sim.run(10)
+    assert sim.skip_active
+
+
+def test_tracer_hooks_do_not_force_skip_fallback():
+    """The tracer attaches router hooks (SoA falls back) but registers no
+    process, so compressed runs keep ticking it — proven byte-identical by
+    test_golden_trace_identical_under_skip below."""
+    from repro.obs import TraceOptions
+    from repro.obs.tracer import Tracer
+
+    sim = _build()
+    Tracer(sim, TraceOptions(sample_every=1)).attach()
+    sim.run(50)
+    assert not sim.soa_active  # hooks force the object path ...
+    assert sim.skip_active  # ... but compression stays eligible
+
+
+# ---------------------------------------------------------------------------
+# Compression actually happens
+# ---------------------------------------------------------------------------
+
+
+def test_idle_network_executes_almost_no_cycles():
+    topo = HyperX((4, 4), 2)
+    net = Network(topo, make_algorithm("DOR", topo), _config(True))
+    sim = Simulator(net)
+    probe = sim.add_process(_CycleProbe())
+    sim.run(10_000)
+    assert sim.cycle == 10_000  # the clock still lands exactly
+    assert probe.calls <= 2  # ... but almost nothing executed
+
+
+def test_low_load_executes_only_event_cycles():
+    sim = _build(widths=(3, 3), algo="DimWAR", rate=0.002)
+    probe = sim.add_process(_CycleProbe())
+    sim.run(5_000)
+    assert sim.cycle == 5_000
+    # Executed cycles are bounded by (events x per-event settle work), far
+    # below the simulated span at this rate.
+    assert probe.calls < 2_500
+
+
+def test_skip_off_executes_every_cycle():
+    sim = _build(skip=False)
+    probe = sim.add_process(_CycleProbe())
+    sim.run(500)
+    assert probe.calls == 500
+
+
+# ---------------------------------------------------------------------------
+# Bit-exact equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algo", ["DOR", "DimWAR", "OmniWAR", "UGAL"])
+@pytest.mark.parametrize("rate", [0.01, 0.3])
+def test_skip_matches_per_cycle(algo, rate):
+    a = _build(algo=algo, rate=rate, skip=True)
+    b = _build(algo=algo, rate=rate, skip=False)
+    a.run(400)
+    b.run(400)
+    assert a.skip_active and not b.skip_active
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_drain_identical_under_skip():
+    """stop() + drain must reach quiescence on the same cycle either way
+    (the event-aware run_until schedule is mode-independent)."""
+    results = []
+    for skip in (True, False):
+        sim = _build(widths=(3, 3), algo="DimWAR", rate=0.2, skip=skip)
+        sim.run(300)
+        sim.processes[0].stop()
+        assert sim.drain(max_cycles=100_000)
+        results.append(_fingerprint(sim))
+    assert results[0] == results[1]
+
+
+def test_mode_alternation_mid_stream():
+    """Flipping cycle_skip between run() calls must not perturb the stream."""
+    alternating = _build(rate=0.05, skip=True)
+    reference = _build(rate=0.05, skip=False)
+    rc = alternating.network.cfg.router
+    for chunk in range(6):
+        rc.cycle_skip = chunk % 2 == 0
+        alternating.run(100)
+        assert alternating.skip_active == (chunk % 2 == 0)
+    reference.run(600)
+    assert _fingerprint(alternating) == _fingerprint(reference)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    topo_spec=st.sampled_from(
+        [((3,), 2), ((2, 2), 2), ((3, 3), 1), ((2, 3), 2), ((2, 2, 2), 1)]
+    ),
+    algo=st.sampled_from(["DOR", "VAL", "UGAL+", "DimWAR", "OmniWAR-b2b"]),
+    rate=st.sampled_from([0.005, 0.1, 0.4]),
+    seed=st.integers(0, 100),
+    bursty=st.booleans(),
+)
+def test_skip_equivalence_property(topo_spec, algo, rate, seed, bursty):
+    widths, tpr = topo_spec
+    kw = dict(widths=widths, tpr=tpr, algo=algo, rate=rate, seed=seed, bursty=bursty)
+    a = _build(skip=True, **kw)
+    b = _build(skip=False, **kw)
+    a.run(300)
+    b.run(300)
+    assert a.skip_active and not b.skip_active
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+# ---------------------------------------------------------------------------
+# Faults, sampler windows, golden traces under compression
+# ---------------------------------------------------------------------------
+
+_FAULTS = [
+    FaultEvent(120, "link", 0, port=1),
+    FaultEvent(180, "degrade", 2, port=0, factor=6),
+    FaultEvent(250, "link", 4, port=2),
+]
+
+
+def _faulted(skip: bool, rate: float = 0.02):
+    sim = _build(
+        widths=(4, 4), algo="OmniWAR", rate=rate, skip=skip, degraded=True
+    )
+    sim.processes.append(FaultInjector(sim.network, FaultSchedule(list(_FAULTS))))
+    return sim
+
+
+@pytest.mark.parametrize("rate", [0.02, 0.35])
+def test_fault_injection_identical_under_skip(rate):
+    a, b = _faulted(True, rate), _faulted(False, rate)
+    a.run(500)
+    b.run(500)
+    assert a.skip_active and not b.skip_active
+    state = a.network.fault_state
+    assert state.events_applied == len(_FAULTS)
+    assert state.revoked_routes == b.network.fault_state.revoked_routes
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    fault_cycles=st.lists(st.integers(10, 400), min_size=1, max_size=3),
+    rate=st.sampled_from([0.01, 0.2]),
+    seed=st.integers(0, 50),
+)
+def test_fault_schedule_equivalence_property(fault_cycles, rate, seed):
+    """Drawn fault schedules land on their exact cycles under compression."""
+    events = [
+        FaultEvent(c, "degrade", (i * 3) % 9, port=0, factor=4)
+        for i, c in enumerate(sorted(fault_cycles))
+    ]
+    prints = []
+    for skip in (True, False):
+        sim = _build(
+            widths=(3, 3), algo="DimWAR", rate=rate, seed=seed,
+            skip=skip, degraded=True,
+        )
+        sim.processes.append(
+            FaultInjector(sim.network, FaultSchedule(list(events)))
+        )
+        sim.run(450)
+        assert sim.network.fault_state.events_applied == len(events)
+        prints.append(_fingerprint(sim))
+    assert prints[0] == prints[1]
+
+
+def test_sampler_windows_exact_under_skip():
+    """The time-series sampler is skip-safe: window boundaries are landed
+    on exactly, so compressed and per-cycle series are identical."""
+    from repro.obs import TimeSeriesSampler
+
+    series = []
+    for skip in (True, False):
+        sim = _build(widths=(3, 3), algo="DimWAR", rate=0.01, skip=skip)
+        sampler = TimeSeriesSampler(sim, window=70).attach()
+        sim.run(500)
+        sampler.finalize(sim.cycle)
+        sampler.detach()
+        series.append(sampler.samples)
+        assert [s.end - s.start for s in sampler.samples[:-1]] == [70] * 7
+    assert series[0] == series[1]
+
+
+def test_golden_trace_identical_under_skip(monkeypatch):
+    """The tracer (router hooks + listeners, no process) must observe a
+    compressed run byte-identically: same events, same cycles, same bytes."""
+    from repro.obs import golden
+
+    on = golden.golden_jsonl("DimWAR")
+
+    orig = golden.default_config
+    monkeypatch.setattr(
+        golden,
+        "default_config",
+        lambda **kw: replace(
+            orig(**kw), router=replace(orig(**kw).router, cycle_skip=False)
+        ).validated(),
+    )
+    off = golden.golden_jsonl("DimWAR")
+    assert on == off
+
+
+# ---------------------------------------------------------------------------
+# next_event_cycle
+# ---------------------------------------------------------------------------
+
+
+def test_next_event_cycle_idempotent_and_ahead_of_clock():
+    sim = _build(widths=(3, 3), algo="DimWAR", rate=0.05)
+    for _ in range(40):
+        first = sim.next_event_cycle()
+        second = sim.next_event_cycle()
+        assert first == second  # scanning buffers, it must not re-draw
+        assert first is None or first >= sim.cycle
+        sim.run(13)
+
+
+def test_next_event_cycle_monotone_while_inert():
+    """Between executed events the bound never moves backwards."""
+    sim = _build(widths=(3, 3), algo="DimWAR", rate=0.001, seed=3)
+    last = 0
+    for _ in range(60):
+        nxt = sim.next_event_cycle()
+        if nxt is not None:
+            assert nxt >= last
+            last = nxt
+        sim.run(7)
+        last = max(last, sim.cycle)
+
+
+def test_next_event_cycle_sees_scheduled_faults():
+    topo = DegradedTopology(HyperX((3, 3), 1))
+    net = Network(topo, make_algorithm("DimWAR", topo), _config(True))
+    sim = Simulator(net)
+    sim.add_process(
+        FaultInjector(
+            net, FaultSchedule([FaultEvent(150, "degrade", 0, port=0, factor=4)])
+        )
+    )
+    assert sim.next_event_cycle() == 150
+    sim.run(150)
+    # event not yet applied (fires in cycle 150's compute phase): due now
+    assert sim.next_event_cycle() == 150
+    sim.run(1)
+    assert sim.next_event_cycle() is None  # schedule done, network idle
+
+
+def test_next_event_cycle_unknown_process_returns_none():
+    sim = _build()
+    sim.add_process(lambda cycle: None)  # no next_wakeup: unknowable
+    assert sim.next_event_cycle() is None
+
+
+def test_next_event_cycle_flag_independent():
+    """The bound is computed from state + protocol, never the config flag —
+    the property the mode-independent run_until schedule rests on."""
+    a = _build(widths=(3, 3), rate=0.01, skip=True)
+    b = _build(widths=(3, 3), rate=0.01, skip=False)
+    for _ in range(20):
+        assert a.next_event_cycle() == b.next_event_cycle()
+        a.run(11)
+        b.run(11)
+
+
+# ---------------------------------------------------------------------------
+# run_until under compressed time
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_evaluates_on_advanced_boundaries():
+    """With the next event beyond the check grid, the chunk stretches to
+    the event; the schedule is identical in both modes."""
+    cycles = []
+    for skip in (True, False):
+        topo = DegradedTopology(HyperX((3, 3), 1))
+        net = Network(topo, make_algorithm("DimWAR", topo), _config(skip))
+        sim = Simulator(net)
+        inj = FaultInjector(
+            net, FaultSchedule([FaultEvent(150, "degrade", 0, port=0, factor=4)])
+        )
+        sim.add_process(inj)
+        assert sim.run_until(lambda: inj.done, max_cycles=10_000)
+        cycles.append(sim.cycle)
+    # One stretched chunk to the event at 150, then one 64-cycle chunk in
+    # which the event fires: identical under both modes.
+    assert cycles[0] == cycles[1] == 214
+
+
+def test_run_until_drain_stops_on_same_cycle_both_modes():
+    stops = []
+    for skip in (True, False):
+        sim = _build(widths=(3, 3), algo="DimWAR", rate=0.1, skip=skip, seed=9)
+        sim.run(200)
+        sim.processes[0].stop()
+        assert sim.drain(max_cycles=100_000)
+        stops.append(sim.cycle)
+    assert stops[0] == stops[1]
