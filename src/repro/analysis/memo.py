@@ -112,10 +112,16 @@ class SweepMemo:
 
     One JSON file per point under ``root``, named by the full memo key.
     ``get`` misses (returning None) on absent, corrupt, or foreign-salt
-    files; ``put`` writes atomically (temp file + rename) so a crashed run
-    never leaves a half-written entry that later replays as garbage.
-    Hit/miss/write counters make warm-start tests (and curious users)
-    precise about what was actually simulated.
+    files — and unlinks corrupt ones so a later ``put`` can repair them;
+    ``put`` publishes atomically (private temp file + hardlink) so a
+    crashed run never leaves a half-written entry that later replays as
+    garbage.  Publication is **first-writer-wins** across processes: when
+    several workers race to memoise the same key (the shared-cache path of
+    the sweep-farm service), exactly one hardlink lands and every loser
+    degrades to a collision — the spec is deterministic, so the winner's
+    bytes are the losers' bytes.  Hit/miss/write/collision counters make
+    warm-start tests (and curious users) precise about what was actually
+    simulated.
     """
 
     def __init__(self, root: str = "benchmarks/output/memo",
@@ -125,6 +131,7 @@ class SweepMemo:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.collisions = 0
 
     # ------------------------------------------------------------------
 
@@ -138,20 +145,40 @@ class SweepMemo:
         if not memoisable(spec):
             return None
         key = point_key(spec, self.salt)
+        path = self._path(key)
         try:
-            with open(self._path(key)) as f:
+            with open(path) as f:
                 data = json.load(f)
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            self._evict_corrupt(path)
             self.misses += 1
             return None
         # The key embeds the salt, so a stale-salt file can only be found
         # under its own (different) name; the schema/key check guards
         # against truncated or hand-edited files.
         if data.get("schema") != MEMO_SCHEMA or data.get("key") != key:
+            self._evict_corrupt(path)
             self.misses += 1
             return None
         self.hits += 1
         return PointResult(**data["result"])
+
+    @staticmethod
+    def _evict_corrupt(path: str) -> None:
+        """Unlink an unreadable entry so first-writer-wins can repair it.
+
+        Publication only refuses to overwrite an *existing* file; a corrupt
+        entry left in place would therefore shadow every future ``put`` of
+        its key.  Best-effort: a concurrent eviction losing the race is
+        fine.
+        """
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def put(self, spec: "PointSpec", result: "PointResult") -> str | None:
         """Persist ``result`` under ``spec``'s key; returns the path."""
@@ -172,10 +199,29 @@ class SweepMemo:
         os.makedirs(self.root, exist_ok=True)
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as f:
-            json.dump(data, f, indent=2, allow_nan=True)
-        os.replace(tmp, path)
-        self.writes += 1
+        try:
+            with open(tmp, "w") as f:
+                json.dump(data, f, indent=2, allow_nan=True)
+            try:
+                # Atomic first-writer-wins publication: hardlinking the
+                # private temp file fails with FileExistsError when another
+                # process already published this key, and readers only ever
+                # see complete files.
+                os.link(tmp, path)
+            except FileExistsError:
+                # Lost the race.  The winner wrote the same bytes (the spec
+                # determines the result), so this degrades to a hit on the
+                # winner's entry rather than an error or a torn file.
+                self.collisions += 1
+                return path
+            except OSError:  # pragma: no cover - no-hardlink filesystems
+                os.replace(tmp, path)
+            self.writes += 1
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
         return path
 
     # ------------------------------------------------------------------

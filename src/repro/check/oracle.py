@@ -6,7 +6,10 @@ every object from a picklable spec), the per-router route cache (memoised
 candidate lists for stateless algorithms), the router's scoring kernel (the
 batched fast weight pass vs the reference scoring loop), and the fault
 layer's :class:`~repro.faults.degraded.DegradedTopology` wrapper (which,
-with an *empty* fault set, must be a pure pass-through).  Each oracle here
+with an *empty* fault set, must be a pure pass-through).  The HTTP
+experiment service layers more machinery on top — request canonicalisation,
+the job state machine and its JSONL journal, the shared memo cache — and
+must still serve the exact bytes a direct call returns.  Each oracle here
 replays
 an identical measurement through two such paths and compares the serialized
 results **byte for byte** — any divergence, however small, is a bug in one
@@ -251,6 +254,97 @@ def diff_skip_on_off(
     return compare_sweeps("skip-on-vs-off", on, off)
 
 
+def diff_service_direct(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "DimWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+    workers: int = 2,
+    faults: FaultSet | None = None,
+    timeout_s: float = 120.0,
+) -> OracleReport:
+    """Curve fetched through the HTTP experiment service vs a direct
+    in-process ``sweep_load``, byte-identical.
+
+    Spins up a real :class:`~repro.service.server.ExperimentService` on an
+    ephemeral port with a throwaway memo root and job log, submits the
+    sweep over HTTP, polls it to completion, and fetches the result bytes.
+    The service path layers *everything* on top of the simulation — request
+    canonicalisation, the job state machine, the JSONL journal, the
+    ProcessPool fan-out, and the content-addressed memo cache — and none
+    of it may touch a single byte of the curve.  ``faults`` runs the
+    comparison on a degraded topology, proving the declarative fault list
+    round-trips through the JSON request schema too.
+    """
+    import json as _json
+    import tempfile
+    import time
+    import urllib.request
+
+    from ..service.server import ExperimentService
+
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern, faults)
+    direct = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed
+    )
+    request = {
+        "widths": list(widths),
+        "terminals_per_router": terminals_per_router,
+        "algorithm": algorithm,
+        "pattern": pattern,
+        "rates": list(rates),
+        "total_cycles": total_cycles,
+        "seed": seed,
+        "faults": [
+            [type(f).__name__, _fault_asdict(f)] for f in (faults or ())
+        ],
+    }
+    suffix = " (faulted)" if faults is not None else ""
+    name = f"service-vs-direct{suffix}"
+    with tempfile.TemporaryDirectory() as td:
+        service = ExperimentService(
+            port=0, workers=workers, memo_root=f"{td}/memo",
+            job_log=f"{td}/jobs.jsonl", rate_limit=0,
+        ).start()
+        try:
+            body = _json.dumps(request).encode("utf-8")
+            with urllib.request.urlopen(urllib.request.Request(
+                f"{service.url}/jobs", data=body, method="POST"
+            )) as resp:
+                job_id = _json.load(resp)["job_id"]
+            deadline = time.monotonic() + timeout_s
+            state = "queued"
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"{service.url}/jobs/{job_id}"
+                ) as resp:
+                    state = _json.load(resp)["state"]
+                if state in ("done", "failed", "cancelled"):
+                    break
+                time.sleep(0.05)
+            if state != "done":
+                return OracleReport(
+                    name, False, f"service job ended {state!r}, not 'done'"
+                )
+            with urllib.request.urlopen(
+                f"{service.url}/jobs/{job_id}/result"
+            ) as resp:
+                served = resp.read().decode("utf-8")
+        finally:
+            service.shutdown()
+    ja = direct.to_json()
+    return OracleReport(name, ja == served, _first_difference(ja, served))
+
+
+def _fault_asdict(fault) -> dict:
+    from dataclasses import asdict
+
+    return asdict(fault)
+
+
 def diff_pristine_empty_faultset(
     widths=(4, 4),
     terminals_per_router: int = 1,
@@ -343,4 +437,12 @@ def run_all_oracles(
             widths=widths, rates=rates, total_cycles=total_cycles
         ),
         diff_trace_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
+        diff_service_direct(
+            widths=widths, rates=rates, total_cycles=total_cycles,
+            workers=workers,
+        ),
+        diff_service_direct(
+            widths=widths, rates=rates, total_cycles=total_cycles,
+            workers=workers, faults=faults,
+        ),
     ]

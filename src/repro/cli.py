@@ -9,6 +9,7 @@ Commands
 ``trace``     flit/packet lifecycle tracing + time series (docs/OBSERVABILITY.md)
 ``check``     runtime-sanitizer self-test + differential oracles (docs/TESTING.md)
 ``bench``     simulator perf microbenchmarks; regenerates BENCH_sim.json
+``serve``     sweep-farm HTTP experiment service (docs/SERVICE.md)
 ``list``      available algorithms, patterns, figures, and scales
 
 Every subcommand reports bad flag combinations (and unreadable input
@@ -28,6 +29,7 @@ Examples::
     python -m repro trace --golden DimWAR --jsonl /tmp/dimwar.jsonl
     python -m repro check
     python -m repro bench --compare
+    python -m repro serve --port 8035 --workers 4
 """
 
 from __future__ import annotations
@@ -200,6 +202,29 @@ def _build_parser() -> argparse.ArgumentParser:
                    "rewriting it")
     p.add_argument("--only", nargs="+", default=None, metavar="NAME",
                    help="run a subset of the benchmarks by name")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep-farm HTTP experiment service (docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8035,
+                   help="TCP port (0 = ephemeral; default: 8035)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="ProcessPool workers per sweep job "
+                   "(0 = all cores; default: serial)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="max queued jobs before submissions get 503")
+    p.add_argument("--rate-limit", type=float, default=20.0,
+                   help="requests/second/client before 429 (0 = unlimited)")
+    p.add_argument("--burst", type=int, default=40,
+                   help="per-client token-bucket burst capacity")
+    p.add_argument("--memo-root", default="benchmarks/output/memo",
+                   metavar="DIR",
+                   help="shared content-addressed result cache directory")
+    p.add_argument("--job-log", default="benchmarks/output/service_jobs.jsonl",
+                   metavar="FILE",
+                   help="JSONL job journal (replayed on restart)")
 
     sub.add_parser("list", help="list algorithms, patterns, figures, scales")
     return parser
@@ -379,6 +404,49 @@ def _cmd_bench(args) -> str:
     return f"{format_summary(summary)}\n\nwrote {args.out}"
 
 
+def _cmd_serve(args) -> int:
+    """Run the experiment service until SIGINT/SIGTERM, then exit cleanly.
+
+    Flag validation errors raise ValueError into the shared argparse
+    error path (exit code 2); a clean interrupt exits 0 so supervised
+    shutdowns (the CI smoke job sends SIGTERM) read as success.
+    """
+    import signal
+
+    from .service import ExperimentService
+
+    if not 0 <= args.port <= 65535:
+        raise ValueError("port must be in [0, 65535]")
+    if args.queue_depth < 1:
+        raise ValueError("queue-depth must be >= 1")
+    if args.rate_limit < 0:
+        raise ValueError("rate-limit must be >= 0 (0 = unlimited)")
+    if args.rate_limit > 0 and args.burst < 1:
+        raise ValueError("burst must be >= 1")
+    service = ExperimentService(
+        host=args.host, port=args.port,
+        workers=resolve_workers(args.workers),
+        memo_root=args.memo_root, job_log=args.job_log,
+        max_depth=args.queue_depth,
+        rate_limit=args.rate_limit, burst=args.burst,
+    )
+
+    def _interrupt(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _interrupt)
+    print(f"repro service listening on {service.url} "
+          f"(memo: {args.memo_root}, job log: {args.job_log})", flush=True)
+    try:
+        service.serve_forever()  # pragma: no cover - blocks until signal
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+        print("repro service: clean shutdown", flush=True)
+    return 0
+
+
 def _cmd_list() -> str:
     lines = [
         "algorithms : " + ", ".join(algorithm_names()),
@@ -410,6 +478,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0 if run_selftest(oracles=not args.quick) else 1
         elif args.command == "bench":
             print(_cmd_bench(args))
+        elif args.command == "serve":
+            return _cmd_serve(args)
         elif args.command == "list":
             print(_cmd_list())
     except (ValueError, OSError) as e:

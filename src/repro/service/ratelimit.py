@@ -1,0 +1,96 @@
+"""Per-client token-bucket rate limiting for the experiment service.
+
+Each client (the ``X-Repro-Client`` header when present, else the socket
+peer address) gets an independent bucket holding up to ``burst`` tokens,
+refilled continuously at ``rate`` tokens/second.  A request costs one
+token; an empty bucket yields the number of seconds until one accrues,
+which the HTTP layer returns as a 429 with a ``Retry-After`` header.
+``rate=0`` disables limiting entirely.
+
+The clock is injectable so the contract is unit-testable without
+sleeping::
+
+    >>> from repro.service.ratelimit import RateLimiter
+    >>> t = [0.0]
+    >>> rl = RateLimiter(rate=1.0, burst=2, clock=lambda: t[0])
+    >>> rl.check("alice"), rl.check("alice")   # burst of 2 granted
+    (0.0, 0.0)
+    >>> rl.check("alice") > 0                  # third is throttled
+    True
+    >>> rl.check("bob")                        # independent bucket
+    0.0
+    >>> t[0] = 1.0                             # one second: one token back
+    >>> rl.check("alice")
+    0.0
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError("TokenBucket rate must be positive")
+        if burst < 1:
+            raise ValueError("TokenBucket burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def try_acquire(self) -> float:
+        """Take one token if available; returns 0.0 on success, else the
+        seconds until the next token accrues (the Retry-After value)."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe registry of per-client :class:`TokenBucket` s.
+
+    ``rate=0`` means unlimited — every :meth:`check` grants immediately,
+    and no buckets are kept.
+    """
+
+    def __init__(self, rate: float = 20.0, burst: int = 40,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate < 0:
+            raise ValueError("rate must be >= 0 (0 = unlimited)")
+        if rate > 0 and burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.throttled = 0  # requests refused so far (service stat)
+
+    def check(self, client: str) -> float:
+        """0.0 when ``client`` may proceed, else seconds to wait."""
+        if self.rate == 0:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, self._clock
+                )
+            wait = bucket.try_acquire()
+            if wait > 0:
+                self.throttled += 1
+            return wait

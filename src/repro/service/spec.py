@@ -1,0 +1,194 @@
+"""Sweep-request schema: validation, canonical form, and content hashing.
+
+A service client describes a sweep as plain JSON — topology widths,
+algorithm, pattern, rate ladder, cycle budget, seed, and an optional
+declarative fault list — and the service turns it into the exact
+:class:`~repro.analysis.parallel.PointSpec` list a direct
+:func:`~repro.analysis.sweep.sweep_load` call would build.  Two invariants
+make the service honest:
+
+* **canonical form** — two requests describing the same sweep serialize
+  identically (rates sorted the way ``sweep_load`` sorts them, defaults
+  expanded, faults normalized to ``[class-name, field-dict]`` pairs), so
+  the SHA-256 :func:`request_key` is a true content address.  The key is
+  the job id: resubmitting the same sweep *is* the same job.
+* **validation by construction** — :func:`build_request` actually builds
+  the topology/algorithm/pattern (and rejects unknown keys), so every
+  request that enters the queue is one the workers can execute.
+
+Example::
+
+    >>> from repro.service.spec import build_request, request_key
+    >>> req = build_request({"widths": [2, 2], "rates": [0.2, 0.1]})
+    >>> req.rates            # canonical: sorted ascending, like sweep_load
+    (0.1, 0.2)
+    >>> len(request_key(req))
+    64
+    >>> reordered = build_request({"rates": [0.1, 0.2], "widths": [2, 2]})
+    >>> request_key(reordered) == request_key(req)
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..faults.model import DegradedLink, LinkFault, RouterFault
+
+#: fault classes a request may name, keyed by their canonical spelling
+FAULT_CLASSES = {
+    "LinkFault": LinkFault,
+    "RouterFault": RouterFault,
+    "DegradedLink": DegradedLink,
+}
+
+#: request fields and their defaults — also the schema whitelist
+REQUEST_FIELDS = (
+    "widths", "terminals_per_router", "algorithm", "pattern", "rates",
+    "total_cycles", "seed", "stop_after_unstable", "faults",
+)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One validated, canonical sweep-job description."""
+
+    widths: tuple[int, ...]
+    terminals_per_router: int = 1
+    algorithm: str = "DimWAR"
+    pattern: str = "UR"
+    rates: tuple[float, ...] = (0.1, 0.2, 0.3)
+    total_cycles: int = 2000
+    seed: int = 1
+    stop_after_unstable: bool = True
+    #: declarative faults, already parsed to frozen fault objects
+    faults: tuple = field(default=())
+
+    def canonical(self) -> dict:
+        """The JSON-able canonical form — the :func:`request_key` preimage."""
+        return {
+            "widths": list(self.widths),
+            "terminals_per_router": self.terminals_per_router,
+            "algorithm": self.algorithm,
+            "pattern": self.pattern,
+            "rates": list(self.rates),
+            "total_cycles": self.total_cycles,
+            "seed": self.seed,
+            "stop_after_unstable": self.stop_after_unstable,
+            "faults": [
+                [type(f).__name__, _fault_fields(f)] for f in self.faults
+            ],
+        }
+
+
+def _fault_fields(fault) -> dict:
+    from dataclasses import asdict
+
+    return dict(sorted(asdict(fault).items()))
+
+
+def _parse_faults(raw: Any) -> tuple:
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError("faults must be a list of [class-name, fields] pairs")
+    faults = []
+    for i, entry in enumerate(raw):
+        try:
+            name, fields = entry
+            cls = FAULT_CLASSES[name]
+            faults.append(cls(**{k: int(v) for k, v in fields.items()}))
+        except KeyError:
+            raise ValueError(
+                f"fault #{i}: unknown class {entry[0]!r}; "
+                f"choose from {sorted(FAULT_CLASSES)}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"fault #{i}: {exc}") from None
+    return tuple(faults)
+
+
+def build_request(raw: dict) -> SweepRequest:
+    """Validate a raw JSON request dict into a canonical SweepRequest.
+
+    Raises ``ValueError`` on unknown keys, malformed fields, or any
+    combination the simulator cannot execute (unknown algorithm/pattern,
+    bad widths, faults that disconnect the network) — the 400 path of the
+    service.  Validation is *by construction*: the topology, algorithm,
+    pattern, and point specs are actually built, so acceptance here means
+    the queue runner cannot fail on reconstruction later.
+    """
+    if not isinstance(raw, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = sorted(set(raw) - set(REQUEST_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown request field(s) {unknown}; "
+            f"allowed: {sorted(REQUEST_FIELDS)}"
+        )
+    try:
+        widths = tuple(int(w) for w in raw.get("widths", ()))
+        rates = tuple(
+            sorted(float(r) for r in raw.get("rates", (0.1, 0.2, 0.3)))
+        )
+        req = SweepRequest(
+            widths=widths,
+            terminals_per_router=int(raw.get("terminals_per_router", 1)),
+            algorithm=str(raw.get("algorithm", "DimWAR")),
+            pattern=str(raw.get("pattern", "UR")),
+            rates=rates,
+            total_cycles=int(raw.get("total_cycles", 2000)),
+            seed=int(raw.get("seed", 1)),
+            stop_after_unstable=bool(raw.get("stop_after_unstable", True)),
+            faults=_parse_faults(raw.get("faults", ())),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"malformed request: {exc}") from None
+    if not req.rates:
+        raise ValueError("rates must be a non-empty list of offered loads")
+    if any(r <= 0 for r in req.rates):
+        raise ValueError("rates must be positive offered loads")
+    if req.total_cycles < 10:
+        raise ValueError("total_cycles must be >= 10")
+    build_specs(req)  # validate by construction; result discarded
+    return req
+
+
+def build_scenario(req: SweepRequest) -> tuple:
+    """Fresh live ``(topology, algorithm, pattern)`` objects for ``req`` —
+    exactly what a direct :func:`~repro.analysis.sweep.sweep_load` caller
+    would construct by hand."""
+    from ..core.registry import make_algorithm
+    from ..faults.degraded import DegradedTopology
+    from ..faults.model import FaultSet
+    from ..topology.hyperx import HyperX
+    from ..traffic.patterns import pattern_by_name
+
+    topo = HyperX(req.widths, req.terminals_per_router)
+    if req.faults:
+        topo = DegradedTopology(topo, FaultSet(list(req.faults)))
+    algo = make_algorithm(req.algorithm, topo)
+    patt = pattern_by_name(req.pattern, topo)
+    return topo, algo, patt
+
+
+def build_specs(req: SweepRequest) -> list:
+    """The :class:`~repro.analysis.parallel.PointSpec` list for ``req`` —
+    the same specs a direct ``sweep_load(..., workers=N)`` call builds."""
+    from ..analysis.parallel import point_specs
+
+    topo, algo, patt = build_scenario(req)
+    return point_specs(
+        topo, algo, patt, list(req.rates),
+        total_cycles=req.total_cycles, seed=req.seed,
+    )
+
+
+def request_key(req: SweepRequest) -> str:
+    """SHA-256 content address of a canonical request (the job id)."""
+    preimage = json.dumps(
+        req.canonical(), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()

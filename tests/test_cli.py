@@ -228,3 +228,21 @@ def test_bench_unknown_name_exits_2(capsys):
         main(["bench", "--compare", "--only", "no_such_benchmark"])
     assert exc.value.code == 2
     assert "unknown benchmark" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "argv,needle",
+    [
+        (["serve", "--port", "-1"], "port"),
+        (["serve", "--port", "70000"], "port"),
+        (["serve", "--queue-depth", "0"], "queue-depth"),
+        (["serve", "--rate-limit", "-2"], "rate-limit"),
+        (["serve", "--rate-limit", "5", "--burst", "0"], "burst"),
+    ],
+)
+def test_serve_bad_flags_exit_2(argv, needle, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "serve:" in err and needle in err

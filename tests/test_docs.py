@@ -122,6 +122,22 @@ def test_observability_doc_covers_the_cli():
         assert f"`{t}`" in text, f"docs/OBSERVABILITY.md misses event {t!r}"
 
 
+def test_service_doc_covers_the_cli():
+    text = _read(os.path.join("docs", "SERVICE.md"))
+    for flag in (
+        "--host", "--port", "--workers", "--queue-depth",
+        "--rate-limit", "--burst", "--memo-root", "--job-log",
+    ):
+        assert flag in text, f"docs/SERVICE.md does not document {flag}"
+    assert "python -m repro serve" in text
+    # Every endpoint the handler routes must appear in the doc.
+    for endpoint in ("/jobs", "/healthz", "/stats", "/cancel", "/result"):
+        assert endpoint in text, f"docs/SERVICE.md misses endpoint {endpoint}"
+    # ...and every HTTP status the error contract can produce.
+    for code in ("400", "404", "409", "413", "429", "503"):
+        assert code in text, f"docs/SERVICE.md misses status {code}"
+
+
 #: Modules whose docstrings promise runnable examples (ISSUE: fault modules
 #: plus the parallel engine, telemetry probe, and the observability layer;
 #: the simulator's run_until contract rides along since the skip-ahead PR).
@@ -138,6 +154,9 @@ DOCTEST_MODULES = [
     "repro.obs.tracer",
     "repro.obs.timeseries",
     "repro.obs.profile",
+    "repro.service.spec",
+    "repro.service.jobs",
+    "repro.service.ratelimit",
 ]
 
 

@@ -1,0 +1,117 @@
+"""Multiprocessing stress test for SweepMemo's first-writer-wins publish.
+
+Eight worker processes hammer one memo key with interleaved ``put``/``get``
+cycles.  The publication protocol (private temp file + atomic hardlink)
+must let exactly one writer land the entry; every loser degrades to a
+collision, every reader sees either nothing or a complete valid file, and
+no temp litter survives.  This is the contention pattern of the sweep-farm
+service, where pool workers and overlapping jobs share one memo root.
+"""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.analysis import SweepMemo, point_key
+from repro.analysis.memo import MEMO_SCHEMA
+from repro.analysis.parallel import PointSpec
+from repro.analysis.sweep import PointResult
+
+WORKERS = 8
+ROUNDS = 25
+
+
+def _spec() -> PointSpec:
+    return PointSpec(
+        widths=(3, 3),
+        terminals_per_router=2,
+        algorithm="OmniWAR",
+        pattern="UR",
+        rate=0.2,
+        total_cycles=1000,
+        seed=1,
+    )
+
+
+def _result() -> PointResult:
+    return PointResult(
+        offered_rate=0.2,
+        stable=True,
+        reason="",
+        mean_latency=20.0,
+        p99_latency=40.0,
+        accepted_rate=0.2,
+        mean_hops=2.0,
+        mean_deroutes=0.1,
+        packets_delivered=500,
+        cycles=1000,
+        routes_computed=900,
+        route_stalls=3,
+    )
+
+
+def _hammer(root: str) -> tuple[int, int, int]:
+    """Worker entry: put+get one key ROUNDS times, count what happened."""
+    memo = SweepMemo(root=root)
+    spec, result = _spec(), _result()
+    reads_ok = 0
+    for _ in range(ROUNDS):
+        path = memo.put(spec, result)
+        assert path is not None
+        got = memo.get(spec)
+        assert got is not None, "published entry must be readable"
+        assert got.packets_delivered == result.packets_delivered
+        reads_ok += 1
+    return memo.writes, memo.collisions, reads_ok
+
+
+def test_eight_processes_hammer_one_key(tmp_path):
+    root = str(tmp_path)
+    with ProcessPoolExecutor(max_workers=WORKERS) as pool:
+        outcomes = list(pool.map(_hammer, [root] * WORKERS))
+
+    writes = sum(o[0] for o in outcomes)
+    collisions = sum(o[1] for o in outcomes)
+    reads_ok = sum(o[2] for o in outcomes)
+    # Exactly one writer ever lands the entry; every other attempt is a
+    # counted collision that still behaves like a successful put.
+    assert writes == 1
+    assert collisions == WORKERS * ROUNDS - 1
+    assert reads_ok == WORKERS * ROUNDS
+
+    # No temp litter, no shadow files: the single published entry remains,
+    # valid and keyed correctly.
+    entries = sorted(os.listdir(root))
+    key = point_key(_spec())
+    assert entries == [f"{key}.json"]
+    with open(tmp_path / entries[0]) as f:
+        data = json.load(f)
+    assert data["schema"] == MEMO_SCHEMA and data["key"] == key
+
+
+def test_collision_degrades_to_hit_in_process(tmp_path):
+    """Two memo instances racing on one key: second put is a collision,
+    both read back the same entry."""
+    a, b = SweepMemo(root=str(tmp_path)), SweepMemo(root=str(tmp_path))
+    spec, result = _spec(), _result()
+    assert a.put(spec, result) is not None
+    assert b.put(spec, result) is not None  # loses, degrades silently
+    assert (a.writes, a.collisions) == (1, 0)
+    assert (b.writes, b.collisions) == (0, 1)
+    assert b.get(spec) is not None and a.get(spec) is not None
+
+
+def test_corrupt_entry_is_evicted_and_repaired(tmp_path):
+    """A torn/corrupt file must not shadow its key forever: get() evicts
+    it (counted as a miss) and the next put republishes."""
+    memo = SweepMemo(root=str(tmp_path))
+    spec, result = _spec(), _result()
+    memo.put(spec, result)
+    path = memo._path(point_key(spec, memo.salt))
+    with open(path, "w") as f:
+        f.write("{ torn")
+    assert memo.get(spec) is None
+    assert not os.path.exists(path)  # evicted, not left to shadow the key
+    assert memo.put(spec, result) is not None
+    assert memo.writes == 2 and memo.collisions == 0
+    assert memo.get(spec) is not None

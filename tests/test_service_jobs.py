@@ -1,0 +1,267 @@
+"""Property tests for the service job state machine and JSONL journal.
+
+The Hypothesis suite drives :class:`repro.service.jobs.JobStore` through
+arbitrary *legal* operation sequences and pins the contract down:
+
+* every reachable state is legal and every illegal edge raises
+  :class:`~repro.service.jobs.TransitionError`;
+* resubmission is idempotent — the content hash is the job id, so a
+  reordered spelling of the same request lands on the same job;
+* cancel-after-done (or any terminal state) is a no-op;
+* replaying the persisted JSONL log through the same transition rules
+  reconstructs the same states, and a torn log tail degrades to the last
+  consistent prefix instead of raising.
+"""
+
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    LEGAL_TRANSITIONS,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL,
+    JobQueue,
+    JobStore,
+    QueueFull,
+    TransitionError,
+)
+from repro.service.spec import build_request, request_key
+
+KEYS = ("job-a", "job-b", "job-c")
+RESULT = '{"algorithm": "DimWAR", "pattern": "UR", "points": []}'
+
+
+def _attach(store, jid):
+    store.attach_result(jid, RESULT, points_total=0, points_simulated=0,
+                        memo_hits=0)
+
+
+def _legal_actions(store):
+    """Every operation that is legal *now*, as (opcode, job_id) pairs."""
+    actions = [("submit", k) for k in KEYS if k not in store.jobs]
+    for jid, job in store.jobs.items():
+        actions.append(("cancel", jid))  # legal in every state (may no-op)
+        if job.state == QUEUED:
+            actions.append(("run", jid))
+        elif job.state == RUNNING:
+            actions.extend([("done", jid), ("fail", jid),
+                            ("cancel_running", jid)])
+        elif job.state in (FAILED, CANCELLED):
+            actions.append(("resubmit", jid))
+        elif job.state == DONE:
+            actions.append(("resubmit_done", jid))
+    return actions
+
+
+def _apply(store, op, jid):
+    if op == "submit":
+        job, created = store.submit(jid, {"widths": [2, 2], "id": jid})
+        assert created and job.state == QUEUED
+    elif op == "run":
+        store.transition(jid, RUNNING)
+    elif op == "done":
+        _attach(store, jid)
+    elif op == "fail":
+        store.transition(jid, FAILED, "boom")
+    elif op == "cancel":
+        before = store.jobs[jid].state if jid in store.jobs else None
+        job = store.request_cancel(jid)
+        if before in TERMINAL:
+            assert job.state == before  # cancel past terminal is a no-op
+    elif op == "cancel_running":
+        store.transition(jid, CANCELLED)  # the runner honouring the flag
+    elif op == "resubmit":
+        job, created = store.submit(jid, store.jobs[jid].request)
+        assert created and job.state == QUEUED
+        assert job.result_json is None and not job.cancel_requested
+    elif op == "resubmit_done":
+        job, created = store.submit(jid, store.jobs[jid].request)
+        assert not created and job.state == DONE
+        assert job.result_json == RESULT  # the cached curve survives
+
+
+@given(st.data())
+@settings(max_examples=120)
+def test_legal_sequences_and_log_replay(data):
+    store = JobStore()
+    steps = data.draw(st.integers(min_value=1, max_value=40))
+    for _ in range(steps):
+        op, jid = data.draw(st.sampled_from(_legal_actions(store)))
+        _apply(store, op, jid)
+        for job in store.jobs.values():
+            assert job.state in STATES
+            if job.state == DONE:
+                assert job.result_json is not None
+            if job.state == QUEUED:
+                assert job.result_json is None
+
+    # The journal replays to the same states, seqs, and results.
+    replayed = JobStore.replay(store.log_lines())
+    assert {j.job_id: j.state for j in store.ordered()} == \
+        {j.job_id: j.state for j in replayed.ordered()}
+    assert {j.job_id: j.seq for j in store.ordered()} == \
+        {j.job_id: j.seq for j in replayed.ordered()}
+    assert {j.job_id: j.result_json for j in store.ordered()} == \
+        {j.job_id: j.result_json for j in replayed.ordered()}
+
+
+def _store_in_state(state):
+    store = JobStore()
+    store.submit("j", {"widths": [2, 2]})
+    if state == RUNNING:
+        store.transition("j", RUNNING)
+    elif state == DONE:
+        store.transition("j", RUNNING)
+        _attach(store, "j")
+    elif state == FAILED:
+        store.transition("j", RUNNING)
+        store.transition("j", FAILED, "boom")
+    elif state == CANCELLED:
+        store.transition("j", CANCELLED)
+    return store
+
+
+@pytest.mark.parametrize(
+    "src,dst",
+    [p for p in itertools.product(STATES, STATES)
+     if p not in LEGAL_TRANSITIONS],
+)
+def test_every_illegal_edge_raises(src, dst):
+    store = _store_in_state(src)
+    with pytest.raises(TransitionError):
+        store.transition("j", dst)
+    assert store.jobs["j"].state == src  # failed transition mutates nothing
+
+
+def test_unknown_state_and_unknown_job_raise():
+    store = _store_in_state(QUEUED)
+    with pytest.raises(TransitionError):
+        store.transition("j", "exploded")
+    with pytest.raises(KeyError):
+        store.transition("ghost", RUNNING)
+    with pytest.raises(KeyError):
+        store.request_cancel("ghost")
+
+
+def test_cancel_semantics_per_state():
+    # queued -> cancelled immediately
+    store = _store_in_state(QUEUED)
+    assert store.request_cancel("j").state == CANCELLED
+    # running -> flagged only; the runner flips it at a point boundary
+    store = _store_in_state(RUNNING)
+    job = store.request_cancel("j")
+    assert job.state == RUNNING and job.cancel_requested
+    # terminal -> untouched
+    for state in TERMINAL:
+        store = _store_in_state(state)
+        assert store.request_cancel("j").state == state
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed idempotent resubmission (through the real request hash)
+# ---------------------------------------------------------------------------
+
+
+@given(rates=st.lists(
+    st.floats(min_value=0.01, max_value=0.9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=5, unique=True,
+), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_request_key_ignores_rate_order(rates, seed):
+    fwd = build_request({"widths": [2, 2], "rates": rates, "seed": seed})
+    rev = build_request(
+        {"widths": [2, 2], "rates": list(reversed(rates)), "seed": seed}
+    )
+    assert request_key(fwd) == request_key(rev)
+    other = build_request(
+        {"widths": [2, 2], "rates": rates, "seed": seed + 1}
+    )
+    assert request_key(other) != request_key(fwd)
+
+
+def _memo(tmp_path):
+    from repro.analysis.memo import SweepMemo
+
+    return SweepMemo(root=str(tmp_path / "memo"))
+
+
+def test_queue_resubmission_is_idempotent(tmp_path):
+    queue = JobQueue(JobStore(), _memo(tmp_path))
+    req_a = build_request({"widths": [2, 2], "rates": [0.2, 0.1]})
+    req_b = build_request({"rates": [0.1, 0.2], "widths": [2, 2]})
+    job1, created1 = queue.submit(req_a)
+    job2, created2 = queue.submit(req_b)
+    assert created1 and not created2
+    assert job1.job_id == job2.job_id and job1 is job2
+    assert queue.jobs_deduped == 1 and queue.depth() == 1
+
+
+def test_queue_bounded_depth_raises_queue_full(tmp_path):
+    queue = JobQueue(JobStore(), _memo(tmp_path), max_depth=2)
+    for seed in (1, 2):
+        queue.submit(build_request({"widths": [2, 2], "seed": seed}))
+    with pytest.raises(QueueFull):
+        queue.submit(build_request({"widths": [2, 2], "seed": 3}))
+    # Resubmission of a known job is a dedup, never a capacity question.
+    job, created = queue.submit(build_request({"widths": [2, 2], "seed": 1}))
+    assert not created and job.state == QUEUED
+
+
+# ---------------------------------------------------------------------------
+# Persistence: the on-disk journal and restart recovery
+# ---------------------------------------------------------------------------
+
+
+def test_log_file_round_trip_and_recovery(tmp_path):
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(log_path=path)
+    store.submit("a", {"widths": [2, 2]})
+    store.transition("a", RUNNING)
+    _attach(store, "a")
+    store.submit("b", {"widths": [3, 3]})
+    store.transition("b", RUNNING)  # interrupted mid-run
+    store.submit("c", {"widths": [2, 2], "seed": 9})  # still queued
+
+    reloaded = JobStore.load(path)
+    assert {j.job_id: j.state for j in reloaded.ordered()} == {
+        "a": DONE, "b": RUNNING, "c": QUEUED,
+    }
+    assert reloaded.jobs["a"].result_json == RESULT
+
+    revived = reloaded.recover()
+    assert [j.job_id for j in revived] == ["b", "c"]
+    assert reloaded.jobs["b"].state == QUEUED
+    assert "interrupted" in json.dumps(reloaded.log_lines())
+    # Recovery events were journaled too: a second replay agrees.
+    again = JobStore.load(path)
+    assert again.jobs["b"].state == QUEUED and again.jobs["a"].state == DONE
+
+
+def test_torn_log_tail_degrades_to_prefix(tmp_path):
+    store = JobStore()
+    store.submit("a", {"widths": [2, 2]})
+    store.transition("a", RUNNING)
+    lines = store.log_lines()
+    torn = lines + ['{"event": "state", "job_id": "a", "st']  # crash mid-write
+    replayed = JobStore.replay(torn)
+    assert replayed.jobs["a"].state == RUNNING  # prefix, no exception
+
+    illegal = lines + [json.dumps(
+        {"event": "state", "job_id": "a", "state": "queued"}
+    )]
+    assert JobStore.replay(illegal).jobs["a"].state == RUNNING
+
+
+def test_missing_log_file_is_empty_store(tmp_path):
+    store = JobStore.load(str(tmp_path / "absent.jsonl"))
+    assert store.ordered() == [] and store.recover() == []
