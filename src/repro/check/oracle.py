@@ -413,6 +413,11 @@ def diff_trace_on_off(
     return compare_sweeps("trace-on-vs-off", off, on)
 
 
+def _tagged(report: OracleReport, algorithm: str) -> OracleReport:
+    """Relabel a report so per-algorithm matrix rows stay distinguishable."""
+    return OracleReport(f"{report.name}[{algorithm}]", report.ok, report.detail)
+
+
 def run_all_oracles(
     widths=(4, 4),
     rates=(0.1, 0.3),
@@ -421,7 +426,7 @@ def run_all_oracles(
 ) -> list[OracleReport]:
     """Every differential oracle at one (small) problem size."""
     faults = FaultSet().fail_link(0, 0)
-    return [
+    reports = [
         diff_serial_parallel(
             widths=widths, rates=rates, total_cycles=total_cycles, workers=workers
         ),
@@ -446,3 +451,27 @@ def run_all_oracles(
             workers=workers, faults=faults,
         ),
     ]
+    # The successor-paper algorithms (FTHX's escape subnetwork, VCFree's
+    # up*/down* order) must survive the same replay comparisons as the
+    # paper's own: their candidate lists are memoised, SoA-compiled,
+    # skip-compressed, and pickled across workers like everyone else's.
+    for algo in ("FTHX", "VCFree"):
+        reports += [
+            _tagged(diff_serial_parallel(
+                widths=widths, rates=rates, total_cycles=total_cycles,
+                workers=workers, algorithm=algo, faults=faults,
+            ), algo),
+            _tagged(diff_soa_on_off(
+                widths=widths, rates=rates, total_cycles=total_cycles,
+                algorithm=algo,
+            ), algo),
+            _tagged(diff_skip_on_off(
+                widths=widths, rates=rates, total_cycles=total_cycles,
+                algorithm=algo,
+            ), algo),
+            _tagged(diff_pristine_empty_faultset(
+                widths=widths, rates=rates, total_cycles=total_cycles,
+                algorithm=algo,
+            ), algo),
+        ]
+    return reports

@@ -32,9 +32,12 @@ Checkers (each individually switchable):
   with the dependency cycle (router, port, VC, packet id, age) instead of
   letting the run hang silently.
 * **vc_legality** — on every committed route: the chosen output VC belongs
-  to the candidate's resource class, and for distance-class algorithms
-  (``RoutingAlgorithm.distance_classes``, e.g. OmniWAR) the class advances
-  by exactly one per hop from class 0 at injection (``VC_out = VC_in + 1``).
+  to the candidate's resource class, and the hop obeys the algorithm's own
+  VC discipline (``RoutingAlgorithm.route_discipline_error``) — the
+  distance-class rule ``VC_out = VC_in + 1`` for OmniWAR, the one-way
+  escape-subnetwork order for FTHX, the up*/down* channel order for
+  VCFree.  Each algorithm carries its own machine-checkable model of the
+  invariant its deadlock-freedom proof rests on; the sanitizer just asks.
 
 Overhead: zero when not attached (the hooks are a list and a ``None`` field);
 attached with the default 64-cycle window it is a few percent on a loaded
@@ -144,9 +147,9 @@ class Sanitizer:
         self._down_of = {
             rec.src: rec.dst for rec in net.links if rec.kind == "rr"
         }
-        self._distance_classes = bool(
-            getattr(net.algorithm, "distance_classes", False)
-        )
+        # Bound once: the algorithm's own VC-discipline model (distance
+        # classes, escape ordering, up*/down* order, ...).
+        self._discipline = net.algorithm.route_discipline_error
 
     # ------------------------------------------------------------------
     # Attachment
@@ -424,15 +427,10 @@ class Sanitizer:
                 f"{out_class}, but the candidate declared class "
                 f"{cand.vc_class}",
             )
-        if self._distance_classes:
-            expected = 0 if ctx.from_terminal else ctx.input_vc_class + 1
-            if cand.vc_class != expected:
-                raise SanitizerError(
-                    "vc_legality",
-                    f"cycle {cycle}: router {router.router_id} packet "
-                    f"{ctx.packet.pid}: distance-class rule violated — "
-                    f"arrived on class {ctx.input_vc_class} "
-                    f"(from_terminal={ctx.from_terminal}) but departs on "
-                    f"class {cand.vc_class}, expected {expected} "
-                    f"(VC_out = VC_in + 1)",
-                )
+        problem = self._discipline(ctx, cand)
+        if problem is not None:
+            raise SanitizerError(
+                "vc_legality",
+                f"cycle {cycle}: router {router.router_id} packet "
+                f"{ctx.packet.pid}: {problem}",
+            )

@@ -5,7 +5,8 @@ false confidence.  This module therefore tests the checkers themselves, in
 three stages (this is what ``python -m repro check`` runs):
 
 1. **negative controls** — sanitized reference runs (4x4 HyperX under DOR,
-   DimWAR, and OmniWAR, plus a full fault transient) must pass cleanly;
+   DimWAR, OmniWAR, FTHX, and VCFree, plus fault transients) must pass
+   cleanly;
 2. **differential oracles** — every replay comparison of
    :mod:`repro.check.oracle` must report byte-identical results, and the
    comparator itself must flag a deliberately tampered result;
@@ -19,6 +20,10 @@ three stages (this is what ``python -m repro check`` runs):
    * every data channel throttled to a crawl   -> ``deadlock`` (stall horizon)
    * a distance-class algorithm forced to keep
      VC class 0 past the first hop             -> ``vc_legality``
+   * FTHX forced to keep class 0 past the
+     first hop (adaptive-layer distance rule)  -> ``vc_legality``
+   * VCFree forced to take an up hop after a
+     down hop (the up*/down* order's one rule) -> ``vc_legality``
 
 :func:`run_selftest` prints one verdict line per stage entry and returns
 True only when everything passed.
@@ -186,6 +191,57 @@ def canary_illegal_vc() -> tuple[bool, str]:
     return _expect_error("vc_legality", lambda: sim.run(400))
 
 
+def canary_fthx_escape_leak() -> tuple[bool, str]:
+    """Force FTHX to stay on VC class 0 after the first hop; its combined
+    discipline (advance the adaptive class, or drop one-way into the escape
+    subnetwork) must be enforced through route_discipline_error."""
+    sim, _, algo = _build_sim("FTHX", rate=0.4)
+    Sanitizer(sim, window=16).attach()
+
+    orig_candidates = algo.candidates
+    algo.cache_key = lambda ctx, dest_router: None  # defeat memoisation
+
+    def pinned(ctx):
+        return [
+            RouteCandidate(c.out_port, 0, c.hops, c.deroute)
+            for c in orig_candidates(ctx)
+        ]
+
+    algo.candidates = pinned
+    return _expect_error("vc_legality", lambda: sim.run(400))
+
+
+def canary_vcfree_up_after_down() -> tuple[bool, str]:
+    """Steer a VCFree packet down one coordinate and then back up; the
+    up*/down* order admits no second rise and the sanitizer must say so."""
+    from ..core.vcfree import _DOWN, _FRESH
+
+    sim, _, algo = _build_sim("VCFree", widths=(3, 3), rate=0.4)
+    Sanitizer(sim, window=16).attach()
+    hx = algo.hx
+
+    orig_candidates = algo.candidates
+    algo.cache_key = lambda ctx, dest_router: None  # defeat memoisation
+
+    def sabotaged(ctx):
+        rid = ctx.router.router_id
+        here = hx.coords(rid)
+        dest = algo.dest_coords(ctx.packet)
+        d = algo.first_unaligned_dim(here, dest)
+        h, t = here[d], dest[d]
+        ph = algo.phase(ctx, d, h)
+        if ph == _FRESH and h - t >= 2:
+            # force a (legal) down deroute to set up the violation
+            return [RouteCandidate(hx.dim_port(rid, d, h - 1), 0, 3, True)]
+        if ph == _DOWN and h + 1 < hx.widths[d]:
+            # the seeded bug: an up hop after the down hop
+            return [RouteCandidate(hx.dim_port(rid, d, h + 1), 0, 3, True)]
+        return orig_candidates(ctx)
+
+    algo.candidates = sabotaged
+    return _expect_error("vc_legality", lambda: sim.run(400))
+
+
 def canary_divergence() -> tuple[bool, str]:
     """Tamper one field of a replayed result; the byte comparator must not
     report the pair identical (proxy for any real execution divergence)."""
@@ -208,6 +264,8 @@ CANARIES = [
     ("cyclic wait", canary_wait_cycle),
     ("throttled stall", canary_stall),
     ("illegal VC class", canary_illegal_vc),
+    ("FTHX escape leak", canary_fthx_escape_leak),
+    ("VCFree up-after-down", canary_vcfree_up_after_down),
     ("tampered replay", canary_divergence),
 ]
 
@@ -219,7 +277,7 @@ CANARIES = [
 def _clean_runs() -> list[tuple[str, bool, str]]:
     """Sanitized reference runs that must pass with zero findings."""
     results = []
-    for name in ("DOR", "DimWAR", "OmniWAR"):
+    for name in ("DOR", "DimWAR", "OmniWAR", "FTHX", "VCFree"):
         topo = HyperX((4, 4), 1)
         algo = make_algorithm(name, topo)
         try:
@@ -230,19 +288,20 @@ def _clean_runs() -> list[tuple[str, bool, str]]:
             results.append((f"sanitized 4x4 {name}", True, "no findings"))
         except SanitizerError as e:
             results.append((f"sanitized 4x4 {name}", False, str(e)))
-    try:
-        res = run_fault_transient(
-            "DimWAR", rate=0.2, window=100, pre_windows=2, post_windows=4,
-            fail_links=2, check=True,
-        )
-        ok = res.drained and res.routing_error is None
-        results.append((
-            "sanitized fault transient",
-            ok,
-            "no findings" if ok else f"run incomplete: {res.routing_error}",
-        ))
-    except SanitizerError as e:
-        results.append(("sanitized fault transient", False, str(e)))
+    for name in ("DimWAR", "FTHX"):
+        try:
+            res = run_fault_transient(
+                name, rate=0.2, window=100, pre_windows=2, post_windows=4,
+                fail_links=2, check=True,
+            )
+            ok = res.drained and res.routing_error is None
+            results.append((
+                f"sanitized fault transient {name}",
+                ok,
+                "no findings" if ok else f"run incomplete: {res.routing_error}",
+            ))
+        except SanitizerError as e:
+            results.append((f"sanitized fault transient {name}", False, str(e)))
     return results
 
 

@@ -24,6 +24,7 @@ Examples::
     python -m repro figure table1
     python -m repro faults --fail-links 3 --algorithms DimWAR OmniWAR
     python -m repro faults --schedule myfaults.json --scale small
+    python -m repro faults --compare --fault-counts 0 1 2 4 --widths 8 8
     python -m repro sweep --algorithm OmniWAR --check
     python -m repro trace --algorithm OmniWAR --rate 0.3 --window 200 --heatmap vc
     python -m repro trace --golden DimWAR --jsonl /tmp/dimwar.jsonl
@@ -126,9 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "faults", help="mid-run fault-injection transient (docs/FAULTS.md)"
     )
-    p.add_argument("--algorithms", nargs="+",
-                   default=["DOR", "DimWAR", "OmniWAR"],
-                   choices=algorithm_names())
+    p.add_argument("--algorithms", nargs="+", default=None,
+                   choices=algorithm_names(),
+                   help="fault-capable algorithms to run (default: "
+                   "DOR DimWAR OmniWAR; with --compare also FTHX VCFree)")
     p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
     p.add_argument("--rate", type=float, default=0.2,
                    help="offered load in flits/cycle/terminal")
@@ -145,6 +147,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the runtime sanitizer for the whole "
                    "transient, fault event and drain included")
+    p.add_argument("--compare", action="store_true",
+                   help="head-to-head grid: every algorithm through the "
+                   "same fault samples at each --fault-counts value "
+                   "(delivered fraction, settling, saturation throughput)")
+    p.add_argument("--fault-counts", type=int, nargs="+", default=[0, 1, 2, 4],
+                   metavar="K", help="link-failure counts of the --compare "
+                   "grid (default: 0 1 2 4)")
+    p.add_argument("--widths", type=int, nargs="+", default=None,
+                   help="override the scale's topology widths "
+                   "(e.g. --widths 8 8 for the docs' 8x8 grid)")
+    p.add_argument("--terminals", type=int, default=None,
+                   help="terminals per router for --widths (default: "
+                   "the scale's)")
+    p.add_argument("--no-saturation", action="store_true",
+                   help="--compare: skip the saturation sweeps (transient "
+                   "grid only; the CI smoke step uses this)")
+    p.add_argument("--granularity", type=float, default=None,
+                   help="--compare: saturation sweep step (default: the "
+                   "scale's)")
+    p.add_argument("--max-rate", type=float, default=0.7,
+                   help="--compare: highest offered load probed by the "
+                   "saturation sweeps")
+    p.add_argument("--workers", type=int, default=None,
+                   help="--compare: fan saturation sweep points over N "
+                   "worker processes (0 = all cores; default: serial)")
 
     p = sub.add_parser(
         "trace",
@@ -269,13 +296,59 @@ def _cmd_stencil(args) -> str:
 
 
 def _cmd_faults(args) -> str:
+    from .experiments import fault_compare
+
+    topology = None
+    if args.widths is not None:
+        tpr = (
+            args.terminals if args.terminals is not None
+            else get_scale(args.scale).terminals_per_router
+        )
+        topology = HyperX(tuple(args.widths), tpr)
+    elif args.terminals is not None:
+        raise ValueError("--terminals needs --widths")
+    if args.compare:
+        if args.schedule is not None:
+            raise ValueError(
+                "--schedule pins one fault set; --compare sweeps fault "
+                "counts — pick one"
+            )
+        if any(k < 0 for k in args.fault_counts):
+            raise ValueError("--fault-counts values must be >= 0")
+        algorithms = tuple(
+            args.algorithms if args.algorithms is not None
+            else fault_compare.COMPARE_ALGORITHMS
+        )
+        fault_compare.validate_fault_capable(algorithms)
+        result = fault_compare.run_fault_comparison(
+            algorithms=algorithms,
+            fault_counts=tuple(args.fault_counts),
+            scale=args.scale,
+            topology=topology,
+            rate=args.rate,
+            fault_seed=args.fault_seed,
+            seed=args.seed,
+            saturation=not args.no_saturation,
+            granularity=args.granularity,
+            max_rate=args.max_rate,
+            workers=resolve_workers(args.workers),
+            check=args.check,
+        )
+        return fault_compare.render(result)
+    algorithms = tuple(
+        args.algorithms if args.algorithms is not None
+        else ("DOR", "DimWAR", "OmniWAR")
+    )
+    # Reject non-fault-capable names before any run burns simulation
+    # time (and instead of a mid-sequence NoRouteError traceback).
+    fault_compare.validate_fault_capable(algorithms)
     schedule = None
     if args.schedule is not None:
         from .faults.model import FaultSchedule
 
         schedule = FaultSchedule.load(args.schedule)
     results = faults_experiment.run(
-        algorithms=tuple(args.algorithms),
+        algorithms=algorithms,
         scale=args.scale,
         rate=args.rate,
         fail_links=args.fail_links,
@@ -283,6 +356,7 @@ def _cmd_faults(args) -> str:
         fault_seed=args.fault_seed,
         seed=args.seed,
         schedule=schedule,
+        topology=topology,
         check=args.check,
     )
     return faults_experiment.render(results)

@@ -4,9 +4,17 @@ from .base import RouteCandidate, RouteContext, RoutingAlgorithm
 from .closad import ClosAD
 from .dimwar import DimWAR
 from .dor import DimensionOrderRouting
+from .fthx import FTHX
 from .minad import MinAdaptive
 from .omniwar import OmniWAR
-from .registry import PAPER_ALGORITHMS, algorithm_names, make_algorithm, table1_rows
+from .registry import (
+    PAPER_ALGORITHMS,
+    algorithm_names,
+    fault_capable_names,
+    make_algorithm,
+    table1_rows,
+)
+from .vcfree import VCFreeRouting
 from .tables import TableRouting, compile_tables, full_table_geometry, optimized_table_geometry
 from .torus_routing import MeshDOR, TorusDOR
 from .ugal import Ugal
@@ -23,8 +31,11 @@ __all__ = [
     "MinAdaptive",
     "DimWAR",
     "OmniWAR",
+    "FTHX",
+    "VCFreeRouting",
     "make_algorithm",
     "algorithm_names",
+    "fault_capable_names",
     "table1_rows",
     "PAPER_ALGORITHMS",
     "TableRouting",

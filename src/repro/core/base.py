@@ -145,6 +145,18 @@ class RoutingAlgorithm:
     #: at injection).  Declared here so the repro.check sanitizer can verify
     #: the rule mechanically on every hop without knowing the algorithm.
     distance_classes: bool = False
+    #: Optional per-class weights for the VC partition
+    #: (:class:`repro.core.vcmap.VcMap`): algorithms whose classes are used
+    #: unevenly — e.g. FTHX's rarely-entered escape classes — declare a
+    #: weight per resource class so spare VCs go where traffic actually
+    #: flows.  ``None`` keeps the even split.
+    class_weights: "tuple[int, ...] | None" = None
+    #: Optional constructive deadlock-freedom certificate: a callable
+    #: ``channel_rank(router, out_port, vc_class) -> comparable`` that
+    #: strictly increases along every legal channel dependency.  Verified
+    #: edge-by-edge by :func:`repro.core.deadlock.verify_rank_certificate`;
+    #: ``None`` means the algorithm only offers the cycle-search proof.
+    channel_rank = None
 
     def __init__(self, topology: "Topology"):
         self.topology = topology
@@ -175,6 +187,31 @@ class RoutingAlgorithm:
         list and only re-scores congestion weights while a head packet waits.
         Stateful algorithms return None (the default) and are never cached.
         """
+        return None
+
+    def route_discipline_error(
+        self, ctx: RouteContext, cand: RouteCandidate
+    ) -> str | None:
+        """Explain why a committed candidate violates the algorithm's VC
+        discipline, or return None when it is legal.
+
+        The repro.check sanitizer calls this on every committed route, so
+        each algorithm carries its own machine-checkable model of the
+        invariant its deadlock-freedom proof rests on.  The default
+        implements the distance-class rule for algorithms that declare
+        :attr:`distance_classes`; schemes with richer disciplines (FTHX's
+        escape subnetwork, VCFree's up*/down* order) override it.
+        """
+        if self.distance_classes:
+            expected = 0 if ctx.from_terminal else ctx.input_vc_class + 1
+            if cand.vc_class != expected:
+                return (
+                    f"distance-class rule violated — arrived on class "
+                    f"{ctx.input_vc_class} (from_terminal="
+                    f"{ctx.from_terminal}) but departs on class "
+                    f"{cand.vc_class}, expected {expected} "
+                    f"(VC_out = VC_in + 1)"
+                )
         return None
 
     # ------------------------------------------------------------------

@@ -1,0 +1,231 @@
+"""FTHX — fault-tolerant HyperX routing with an ordered escape subnetwork.
+
+Implements the scheme of "Achieving High-Performance Fault-Tolerant
+Routing in HyperX Interconnection Networks" (Camarero, Cano, Martínez,
+Beivide — arXiv 2404.04315) in this simulator's terms: an OmniWAR-style
+**adaptive layer** that absorbs faults by masking, stacked on a dedicated
+two-class **escape subnetwork** that guarantees delivery when masking
+exhausts the adaptive options.
+
+Adaptive layer (classes ``0 .. N+M-1``): identical to OmniWAR — any
+unaligned dimension, minimal or deroute, deroute budget ``M``, deadlock
+freedom by distance classes (``VC_out = VC_in + 1``).  Dead minimal ports
+are masked; deroutes are filtered to survivors with a live onward hop.
+
+Escape subnetwork (classes ``E0 = N+M`` and ``E1 = N+M+1``): the
+fault-aware DOR discipline.  ``E0`` carries forced dimension-order
+aligning hops; when the forced hop is dead the packet takes one lateral
+deroute on ``E1`` and, if the forced hop is dead *again* while already on
+``E1``, monotone escape hops (strictly increasing coordinate) on ``E1``
+until an aligning hop survives.
+
+A packet enters the escape subnetwork exactly when its adaptive candidate
+set is empty — every minimal port dead and no deroute budget or viable
+deroute left — and **never returns**: the transition is one-way.  The
+combined channel order is therefore acyclic end to end:
+
+* adaptive classes strictly increase per hop (distance classes);
+* every adaptive channel precedes every escape channel;
+* within the escape subnetwork, rank dimension-major: ``E1`` channels of
+  dimension ``d`` ordered by *target* coordinate (every continuation of
+  an ``E1`` hop moves strictly up), then the ``E0`` aligning channel of
+  ``d``, then dimension ``d+1`` — the PR 2 fault-DOR order.
+
+:meth:`FTHX.channel_rank` states that order as a per-channel rank
+certificate, verified edge-by-edge on the reachable dependency graph by
+:func:`repro.core.deadlock.verify_rank_certificate`.
+
+Class budget: ``N + M + 2`` resource classes.  With the default ``M = N``
+that is 6 on a 2-D HyperX and exactly 8 (the evaluation's VC budget) on a
+3-D one.  The escape classes are rarely-used insurance, so the VC
+partition is weighted (:attr:`class_weights`): each escape class gets a
+single VC and the adaptive classes share the spares
+(:class:`repro.core.vcmap.VcMap`).
+
+All routing state lives in the VC index; ``num_classes`` does not change
+under a ``DegradedTopology`` (unlike DOR), so the pristine-vs-empty-faults
+oracle applies and pristine behaviour is byte-identical to never having
+wrapped the topology.
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+
+class FTHX(HyperXRouting):
+    name = "FTHX"
+    incremental = True
+    dimension_ordered = False
+    deadlock_handling = "distance classes + ordered escape subnetwork"
+    packet_contents = "none"
+    fault_aware = True
+    #: the distance rule holds only in the adaptive layer; the combined
+    #: discipline is stated by route_discipline_error / channel_rank.
+    distance_classes = False
+
+    def __init__(self, topology, deroutes: int | None = None):
+        super().__init__(topology)
+        n = topology.num_dims
+        self.deroutes = n if deroutes is None else int(deroutes)
+        if self.deroutes < 0:
+            raise ValueError("deroute budget must be >= 0")
+        self.adaptive_classes = n + self.deroutes
+        self.escape_min = self.adaptive_classes  # E0: forced aligning hops
+        self.escape_der = self.adaptive_classes + 1  # E1: deroute/escape hops
+        self.num_classes = self.adaptive_classes + 2
+        # Escape classes are insurance: one VC each, spares to the adaptive
+        # layer (consumed by VcMap via the weighted partition).
+        self.class_weights = tuple([2] * self.adaptive_classes + [1, 1])
+
+    # ------------------------------------------------------------------
+
+    def _state_class(self, ctx: RouteContext) -> int:
+        """The resource class the packet routes *on* at this router."""
+        if ctx.from_terminal:
+            return 0
+        if ctx.input_vc_class >= self.adaptive_classes:
+            return ctx.input_vc_class  # escape classes do not advance
+        return ctx.input_vc_class + 1  # distance rule in the adaptive layer
+
+    def cache_key(self, ctx: RouteContext, dest_router: int):
+        return (dest_router, self._state_class(ctx))
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        klass = self._state_class(ctx)
+        if klass >= self.adaptive_classes:
+            return self._escape_candidates(
+                ctx, on_min=klass == self.escape_min
+            )
+
+        hx = self.hx
+        rid = ctx.router.router_id
+        coords = hx.coords
+        here = coords(rid)
+        dest = coords(ctx.packet.dst_terminal // self._tpr)
+        remaining = 0
+        for a, b in zip(here, dest):
+            if a != b:
+                remaining += 1
+        classes_left = self.adaptive_classes - klass
+        assert remaining <= classes_left, (
+            "distance-class invariant violated: not enough adaptive classes "
+            "left to reach the destination minimally"
+        )
+        may_deroute = classes_left - remaining >= 1
+
+        f = self.routing_faults(rid)
+        min_tab = self._min_port_tab
+        cands: list[RouteCandidate] = []
+        append = cands.append
+        if f is None:  # pristine fast path: pure table lookups
+            deroute_hops = remaining + 1
+            der_tab = self._deroute_tab
+            for d in range(hx.num_dims):
+                h = here[d]
+                t = dest[d]
+                if h == t:
+                    continue
+                append(RouteCandidate(min_tab[d][h][t], klass, remaining))
+                if may_deroute:
+                    for port in der_tab[d][h][t]:
+                        append(RouteCandidate(port, klass, deroute_hops, True))
+            return cands
+
+        for d in range(hx.num_dims):
+            if here[d] == dest[d]:
+                continue
+            min_port = min_tab[d][here[d]][dest[d]]
+            if (rid, min_port) in f.failed_ports:
+                f.masked_candidates += 1
+            else:
+                append(RouteCandidate(min_port, klass, remaining))
+            if may_deroute:
+                for port in self.viable_deroute_ports(rid, d, here[d], dest[d]):
+                    append(RouteCandidate(port, klass, remaining + 1, True))
+        if cands:
+            return cands
+        # Masking exhausted the adaptive layer: one-way drop into the
+        # escape subnetwork, entering as a forced-minimal (on_min) packet.
+        return self._escape_candidates(ctx, on_min=True)
+
+    def _escape_candidates(
+        self, ctx: RouteContext, on_min: bool
+    ) -> list[RouteCandidate]:
+        """Fault-aware DOR on the escape classes (the PR 2 discipline)."""
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        rid = ctx.router.router_id
+        hop = self.dor_port(rid, here, dest)
+        assert hop is not None, "router never routes packets already at destination"
+        port, dim = hop
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+        f = self.routing_faults(rid)
+        if f is None or (rid, port) not in f.failed_ports:
+            return [RouteCandidate(port, self.escape_min, remaining)]
+        f.masked_candidates += 1
+        if on_min:
+            ports = self.viable_deroute_ports(rid, dim, here[dim], dest[dim])
+        else:
+            ports = self.escape_ports(rid, dim, here[dim], dest[dim])
+        return [
+            RouteCandidate(p, self.escape_der, remaining + 1, True)
+            for p in ports
+        ]  # empty => NoRouteError (unreachable, reported — never a hang)
+
+    # -- verification hooks --------------------------------------------
+
+    def route_discipline_error(self, ctx: RouteContext, cand) -> str | None:
+        """The sanitizer's model of the combined FTHX class discipline."""
+        a_cls, e0, e1 = self.adaptive_classes, self.escape_min, self.escape_der
+        out = cand.vc_class
+        in_cls = None if ctx.from_terminal else ctx.input_vc_class
+        if in_cls is None or in_cls < a_cls:
+            expected = 0 if in_cls is None else in_cls + 1
+            if out == expected or out == e0 or out == e1:
+                # distance rule, or a one-way drop into the escape layer
+                return None
+            return (
+                f"adaptive class must advance by one (expected {expected}) "
+                f"or drop into the escape subnetwork (classes {e0}/{e1}), "
+                f"but the candidate declared class {out}"
+            )
+        if out < a_cls:
+            return (
+                f"escape-to-adaptive transition: arrived on escape class "
+                f"{in_cls} but departs on adaptive class {out} — the escape "
+                f"subnetwork is one-way"
+            )
+        if out == e1 and in_cls == e1:
+            # monotone escape: the lateral hop must strictly increase the
+            # coordinate in its dimension
+            d = self._port_dim_tab[cand.out_port]
+            h = self.here(ctx)[d]
+            idx = cand.out_port - self.hx._dim_offset[d]
+            c = idx if idx < h else idx + 1
+            if c <= h:
+                return (
+                    f"escape hop to coordinate {c} does not increase the "
+                    f"coordinate (here {h}) in dimension {d}: the E1 order "
+                    f"requires strictly monotone escapes"
+                )
+        return None
+
+    def channel_rank(self, router: int, port: int, klass: int):
+        """Acyclicity certificate for the combined channel order.
+
+        Adaptive channels rank by distance class; escape channels rank
+        dimension-major, ``E1`` channels by *target* coordinate (every
+        continuation of an ``E1`` hop leaves its target strictly upward)
+        below the dimension's ``E0`` aligning channel.
+        """
+        if klass < self.adaptive_classes:
+            return (0, 0, 0, klass)
+        d = self._port_dim_tab[port]
+        if klass == self.escape_der:
+            a = self.hx.coords(router)[d]
+            idx = port - self.hx._dim_offset[d]
+            target = idx if idx < a else idx + 1
+            return (1, d, 0, target)
+        return (1, d, 1, 0)  # E0

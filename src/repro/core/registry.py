@@ -15,11 +15,13 @@ from .base import RoutingAlgorithm
 from .closad import ClosAD
 from .dimwar import DimWAR
 from .dor import DimensionOrderRouting
+from .fthx import FTHX
 from .minad import MinAdaptive
 from .minimal_oblivious import RandomDimOrder, Romm
 from .omniwar import OmniWAR
 from .ugal import Ugal
 from .valiant import Valiant
+from .vcfree import VCFreeRouting
 
 Factory = Callable[[HyperX], RoutingAlgorithm]
 
@@ -34,6 +36,8 @@ _FACTORIES: dict[str, Factory] = {
     "DimWAR": DimWAR,
     "OmniWAR": OmniWAR,
     "OmniWAR-b2b": lambda topo: OmniWAR(topo, restrict_back_to_back=True),
+    "FTHX": FTHX,
+    "VCFree": VCFreeRouting,
 }
 
 #: the paper's Figure 6 / Figure 8 line-up (Table 2)
@@ -51,6 +55,8 @@ ALGORITHM_DESCRIPTIONS: dict[str, str] = {
     "DimWAR": "Dimensionally-ordered Weighted Adaptive Routing (Sec 5.1)",
     "OmniWAR": "Omni-dimensional Weighted Adaptive Routing (Sec 5.2)",
     "OmniWAR-b2b": "OmniWAR with back-to-back same-dimension deroutes restricted",
+    "FTHX": "Fault-tolerant adaptive + escape subnetwork (arXiv 2404.04315)",
+    "VCFree": "VC-free deadlock-free full-mesh routing (HOTI'25)",
 }
 
 
@@ -70,8 +76,28 @@ def make_algorithm(name: str, topology: HyperX, **kwargs) -> RoutingAlgorithm:
             return OmniWAR(topology, **kwargs)
         if name == "UGAL":
             return Ugal(topology, **kwargs)
+        if name == "FTHX":
+            return FTHX(topology, **kwargs)
         raise ValueError(f"{name} takes no extra arguments")
     return factory(topology)
+
+
+def fault_capable_names() -> list[str]:
+    """Registered algorithms the fault experiments accept.
+
+    Fault-capable means the algorithm masks failed ports in
+    ``candidates()`` (``fault_aware``) when constructed on a
+    ``DegradedTopology`` — the precondition of every ``repro faults``
+    run.  Probed on a tiny throwaway topology so the list can never
+    drift from the registry.
+    """
+    from ..faults.degraded import DegradedTopology
+
+    probe = DegradedTopology(HyperX((2, 2), 1))
+    return [
+        name for name in algorithm_names()
+        if make_algorithm(name, probe).fault_aware
+    ]
 
 
 def table1_rows(num_dims: int = 3) -> list[dict[str, object]]:

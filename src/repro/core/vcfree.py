@@ -1,0 +1,202 @@
+"""VCFree — deadlock-free full-mesh routing without virtual channels.
+
+Implements the discipline of "Deadlock-free routing for Full-mesh networks
+without using Virtual Channels" (Cano, Camarero, Martínez, Beivide —
+HOTI'25, arXiv 2510.14730) as a HyperX routing algorithm.  Each HyperX
+dimension is a full mesh; VCFree resolves dimensions in a fixed order
+(like DOR) and, inside the current dimension, restricts paths to the
+*unimodal* ``up* down*`` shape: a packet may take any number of hops to
+strictly **higher** coordinates, then any number of hops to strictly
+**lower** coordinates — but once it has moved down it may never move up
+again.  Equivalently, an intermediate coordinate ``k`` is legal only when
+``k >= min(here, dest)``.
+
+That single ordering constraint makes the channel-dependency graph acyclic
+with **one** resource class — no virtual-channel separation at all.  Rank
+every channel of dimension ``d`` (width ``W``) from coordinate ``a`` to
+``b`` as::
+
+    rank = (d, b)          if b > a     ("up" channel)
+    rank = (d, 2W - b)     if b < a     ("down" channel)
+
+Up hops strictly increase the target coordinate, every continuation after
+a down hop strictly decreases it, and turning from up to down jumps from
+the ``[0, W)`` band into the ``(W, 2W]`` band — so every legal dependency
+strictly increases the rank, and a cycle is impossible.  Dimension order
+handles the cross-dimension edges.  The certificate is verified
+mechanically by :func:`repro.core.deadlock.verify_rank_certificate`.
+
+The scheme is adaptive: at every hop the minimal (aligning) hop competes
+with every discipline-legal deroute on congestion weight.  All routing
+state is recovered from the input port — the direction of the previous
+hop within the current dimension tells the router whether the packet is
+still in its up phase — so the packet format carries nothing and the
+candidate list is a pure function of ``(destination, phase)``.
+
+Behaviour under faults (constructed on a ``DegradedTopology``): dead
+ports are masked out of the legal set, and deroutes are filtered to
+survivors whose onward aligning hop is also alive.  Because the
+discipline forbids leaving the current dimension and (after a down hop)
+forbids moving back up, a fault pattern can exhaust the legal set even on
+a connected network — then the router raises
+:class:`~repro.core.base.NoRouteError` (reported, never a hang).  That
+narrower escape envelope is the price of needing zero VCs; the
+head-to-head driver (:mod:`repro.experiments.fault_compare`) measures it
+against FTHX and the masked-port baselines.
+"""
+
+from __future__ import annotations
+
+from .base import RouteCandidate, RouteContext
+from .hyperx_base import HyperXRouting
+
+#: phase of a packet inside its current dimension
+_FRESH = 0  # entered the dimension this hop: both directions legal
+_UP = 1     # last hop moved up: may continue up or turn down
+_DOWN = 2   # last hop moved down: may only continue down
+
+
+class VCFreeRouting(HyperXRouting):
+    name = "VCFree"
+    num_classes = 1
+    incremental = True
+    dimension_ordered = True
+    deadlock_handling = "restricted routes (up*/down* channel order)"
+    packet_contents = "none"
+    fault_aware = True
+    distance_classes = False
+
+    # -- discipline state ----------------------------------------------
+
+    def phase(self, ctx: RouteContext, dim: int, here_coord: int) -> int:
+        """Unimodal phase of the packet inside ``dim``, from the input port.
+
+        A packet is *fresh* at its source router and whenever the previous
+        hop travelled a different dimension (dimension order: the previous
+        dimension was just aligned).  Otherwise the previous hop was a
+        lateral move within ``dim`` and its direction — read off the
+        upstream coordinate the input port connects to — fixes the phase.
+        """
+        if ctx.from_terminal:
+            return _FRESH
+        p = ctx.input_port
+        if p >= self.hx.num_router_ports or self._port_dim_tab[p] != dim:
+            return _FRESH
+        idx = p - self.hx._dim_offset[dim]
+        prev = idx if idx < here_coord else idx + 1
+        return _UP if here_coord > prev else _DOWN
+
+    # -- RoutingAlgorithm interface ------------------------------------
+
+    def cache_key(self, ctx: RouteContext, dest_router: int):
+        # The candidate list depends only on the destination and the
+        # unimodal phase (the current dimension and coordinate are fixed
+        # per router; faults invalidate every cache on their epoch).
+        here = self.here(ctx)
+        d = self.first_unaligned_dim(here, self.hx.coords(dest_router))
+        assert d is not None
+        return (dest_router, self.phase(ctx, d, here[d]))
+
+    def candidates(self, ctx: RouteContext) -> list[RouteCandidate]:
+        hx = self.hx
+        rid = ctx.router.router_id
+        here = hx.coords(rid)
+        dest = hx.coords(ctx.packet.dst_terminal // self._tpr)
+        d = self.first_unaligned_dim(here, dest)
+        assert d is not None, "router never routes packets already at destination"
+        h, t = here[d], dest[d]
+        ph = self.phase(ctx, d, h)
+        remaining = sum(1 for a, b in zip(here, dest) if a != b)
+
+        # Discipline-legal lateral coordinates in dimension d.
+        if ph == _DOWN:
+            # only continue downward, never below the destination
+            lo, hi = t + 1, h
+            min_ok = t < h
+        else:
+            # fresh/up: anything strictly above min(here, dest) — up hops,
+            # or down hops that a down* continuation can still finish
+            lo, hi = min(h, t) + 1, hx.widths[d]
+            min_ok = True
+
+        f = self.routing_faults(rid)
+        cands: list[RouteCandidate] = []
+        append = cands.append
+        min_port = self._min_port_tab[d][h][t]
+        if min_ok:
+            if f is None or (rid, min_port) not in f.failed_ports:
+                append(RouteCandidate(min_port, 0, remaining))
+            else:
+                f.masked_candidates += 1
+        deroute_hops = remaining + 1
+        if f is None:
+            for c in range(lo, hi):
+                if c == h or c == t:
+                    continue
+                append(RouteCandidate(hx.dim_port(rid, d, c), 0,
+                                      deroute_hops, True))
+            return cands
+        for c in range(lo, hi):
+            if c == h or c == t:
+                continue
+            port = hx.dim_port(rid, d, c)
+            if (rid, port) in f.failed_ports:
+                f.masked_candidates += 1
+                continue
+            nbr = hx.neighbor(rid, d, c)
+            onward = hx.dim_port(nbr, d, t)
+            if (nbr, onward) in f.failed_ports:
+                f.masked_candidates += 1
+                continue
+            append(RouteCandidate(port, 0, deroute_hops, True))
+        return cands  # empty => NoRouteError (unreachable under the discipline)
+
+    # -- verification hooks --------------------------------------------
+
+    def route_discipline_error(self, ctx: RouteContext, cand) -> str | None:
+        """The sanitizer's model of the VC-free invariant.
+
+        Legal hops use the single resource class, stay in the first
+        unaligned dimension (dimension order), never move up after a down
+        hop, and never drop below the destination coordinate.
+        """
+        if cand.vc_class != 0:
+            return (
+                f"VC-free discipline uses the single class 0, "
+                f"but the candidate declared class {cand.vc_class}"
+            )
+        hx = self.hx
+        here = self.here(ctx)
+        dest = self.dest_coords(ctx.packet)
+        d = self.first_unaligned_dim(here, dest)
+        out_dim = self._port_dim_tab[cand.out_port]
+        if out_dim != d:
+            return (
+                f"dimension order violated: first unaligned dimension is "
+                f"{d} but the hop travels dimension {out_dim}"
+            )
+        h, t = here[d], dest[d]
+        idx = cand.out_port - hx._dim_offset[d]
+        c = idx if idx < h else idx + 1
+        if c != t and c < min(h, t):
+            return (
+                f"hop to coordinate {c} drops below min(here={h}, dest={t}) "
+                f"in dimension {d} — a down* continuation could never "
+                f"recover without an up hop"
+            )
+        if self.phase(ctx, d, h) == _DOWN and c > h:
+            return (
+                f"up hop to coordinate {c} after a down hop (here={h}) in "
+                f"dimension {d}: the up*/down* order admits no second rise"
+            )
+        return None
+
+    def channel_rank(self, router: int, port: int, klass: int):
+        """Acyclicity certificate: every legal dependency strictly
+        increases this rank (see the module docstring for the argument)."""
+        d = self._port_dim_tab[port]
+        a = self.hx.coords(router)[d]
+        idx = port - self.hx._dim_offset[d]
+        b = idx if idx < a else idx + 1
+        intra = b if b > a else 2 * self.hx.widths[d] - b
+        return (d, intra)

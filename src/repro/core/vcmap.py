@@ -11,6 +11,15 @@ the VC it arrived on.
 
 The groups must be *contiguous and ordered* so that the acyclic class order
 proven for each algorithm carries over to concrete VC ids.
+
+Weighted partitions: algorithms whose classes carry very different loads
+(e.g. FTHX, whose two escape classes are rarely-entered insurance while
+its adaptive distance classes carry everything) declare per-class weights
+(:attr:`repro.core.base.RoutingAlgorithm.class_weights`).  Every class
+still gets at least one VC; the spare VCs beyond one-each are distributed
+proportionally to the weights by deterministic largest remainder (ties to
+the lower class index), keeping the partition contiguous and ordered.
+With ``weights=None`` the split is exactly the historical even partition.
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ from __future__ import annotations
 class VcMap:
     """Partition ``num_vcs`` VCs into ``num_classes`` ordered groups."""
 
-    def __init__(self, num_classes: int, num_vcs: int):
+    def __init__(self, num_classes: int, num_vcs: int,
+                 weights: "tuple[int, ...] | None" = None):
         if num_classes < 1:
             raise ValueError("need at least one resource class")
         if num_vcs < num_classes:
@@ -28,18 +38,43 @@ class VcMap:
             )
         self.num_classes = num_classes
         self.num_vcs = num_vcs
-        base, extra = divmod(num_vcs, num_classes)
+        self.weights = tuple(weights) if weights is not None else None
+        sizes = self._sizes(num_classes, num_vcs, self.weights)
         self._groups: list[tuple[int, ...]] = []
         self._class_of = [0] * num_vcs
         vc = 0
-        for klass in range(num_classes):
-            size = base + (1 if klass < extra else 0)
+        for klass, size in enumerate(sizes):
             group = tuple(range(vc, vc + size))
             self._groups.append(group)
             for v in group:
                 self._class_of[v] = klass
             vc += size
         assert vc == num_vcs
+
+    @staticmethod
+    def _sizes(num_classes: int, num_vcs: int,
+               weights: "tuple[int, ...] | None") -> list[int]:
+        if weights is None:
+            base, extra = divmod(num_vcs, num_classes)
+            return [base + (1 if k < extra else 0) for k in range(num_classes)]
+        if len(weights) != num_classes:
+            raise ValueError(
+                f"{len(weights)} class weights for {num_classes} classes"
+            )
+        if any(w < 1 for w in weights):
+            raise ValueError("every class weight must be >= 1")
+        # One VC per class is the floor; spares go by largest remainder.
+        spare = num_vcs - num_classes
+        total = sum(weights)
+        quotas = [w * spare / total for w in weights]
+        sizes = [1 + int(q) for q in quotas]
+        leftovers = spare - sum(int(q) for q in quotas)
+        order = sorted(
+            range(num_classes), key=lambda k: (-(quotas[k] - int(quotas[k])), k)
+        )
+        for k in order[:leftovers]:
+            sizes[k] += 1
+        return sizes
 
     def vcs_of(self, klass: int) -> tuple[int, ...]:
         """Physical VCs backing resource class ``klass``."""

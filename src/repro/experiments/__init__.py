@@ -13,10 +13,12 @@ module                       regenerates
 ``table1_comparison``        Table 1 (implementation comparison)
 ``transient``                transient response (extension experiment)
 ``faults``                   fault-injection transient (docs/FAULTS.md)
+``fault_compare``            head-to-head fault benchmark (docs/FAULTS.md)
 ===========================  ====================================
 """
 
 from . import (
+    fault_compare,
     faults,
     fig1_paths,
     fig2_scalability,
@@ -34,6 +36,7 @@ from . import (
 from .common import SCALES, Scale, get_scale
 
 __all__ = [
+    "fault_compare",
     "faults",
     "fig1_paths",
     "fig2_scalability",

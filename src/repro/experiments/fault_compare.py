@@ -1,0 +1,272 @@
+"""Head-to-head fault benchmark: every fault-capable algorithm, same faults.
+
+The single-algorithm fault transient (:mod:`repro.experiments.faults`)
+answers "does this algorithm survive a mid-run failure?".  This driver
+answers the successor-paper question — *which* fault-handling discipline
+wins, and what does each one pay — by running every requested algorithm
+through the **same** connectivity-preserving fault samples at increasing
+fault counts and tabulating three figures of merit per (algorithm, k):
+
+* **delivered fraction** and **settling time** from the mid-run transient
+  (fail ``k`` links at a known cycle, drain, count packets);
+* **saturation throughput** on a *statically* degraded topology with the
+  same ``k`` faults — the steady-state capacity cost of routing around
+  the damage, measured with the ascending stop-at-first-unstable sweep
+  (:func:`repro.analysis.sweep.saturation_throughput`).
+
+A :class:`~repro.core.base.NoRouteError` anywhere is a *result*, not a
+crash: the transient captures it in ``routing_error`` and the saturation
+sweep records the pair-unreachable verdict per point.  That is how
+VCFree's narrower escape envelope (no VCs, but no second rise after a
+down hop) shows up against FTHX's escape subnetwork and the masked-port
+baselines — see docs/FAULTS.md for a worked example and EXPERIMENTS.md
+for measured 8x8 numbers.
+
+Only fault-capable algorithms are accepted
+(:func:`repro.core.registry.fault_capable_names`); anything else is
+rejected up front with the full capable list, before any simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+from ..analysis.sweep import saturation_throughput
+from ..core.base import NoRouteError
+from ..core.registry import (
+    algorithm_names,
+    fault_capable_names,
+    make_algorithm,
+)
+from ..faults.degraded import DegradedTopology
+from ..faults.model import random_faults
+from ..traffic.patterns import UniformRandom
+from .common import Scale, get_scale
+from .faults import run_fault_transient
+
+#: default line-up: the paper's baselines plus both successor schemes
+COMPARE_ALGORITHMS = ("DOR", "DimWAR", "OmniWAR", "FTHX", "VCFree")
+
+
+@dataclass
+class FaultComparePoint:
+    """One (algorithm, fault count) cell of the comparison grid."""
+
+    algorithm: str
+    fault_links: int
+    delivered_fraction: float
+    settling: int | None
+    drained: bool
+    routing_error: str | None
+    masked_candidates: int
+    saturation_rate: float | None = None
+    saturation_error: str | None = None
+
+
+@dataclass
+class FaultCompareResult:
+    """The full comparison grid plus the scenario it was measured on."""
+
+    scale: str
+    widths: tuple[int, ...]
+    terminals_per_router: int
+    rate: float
+    fault_counts: tuple[int, ...]
+    fault_seed: int
+    algorithms: tuple[str, ...]
+    points: list[FaultComparePoint] = field(default_factory=list)
+
+    def cell(self, algorithm: str, fault_links: int) -> FaultComparePoint:
+        for p in self.points:
+            if p.algorithm == algorithm and p.fault_links == fault_links:
+                return p
+        raise KeyError((algorithm, fault_links))
+
+
+def validate_fault_capable(algorithms) -> None:
+    """Reject non-fault-capable names up front, before anything runs.
+
+    Registered algorithms without fault awareness (VAL, UGAL+, MIN-AD,
+    ROMM, O1Turn) would otherwise die mid-sequence with a NoRouteError
+    traceback after burning the earlier algorithms' simulation time; the
+    CLI routes this ValueError through the argparse error path (exit 2).
+    """
+    registered = algorithm_names()
+    unknown = [a for a in algorithms if a not in registered]
+    if unknown:
+        raise ValueError(
+            f"{', '.join(unknown)} "
+            f"{'is' if len(unknown) == 1 else 'are'} not a registered "
+            f"algorithm; see `python -m repro list`"
+        )
+    capable = fault_capable_names()
+    bad = [a for a in algorithms if a not in capable]
+    if bad:
+        raise ValueError(
+            f"{', '.join(bad)} {'is' if len(bad) == 1 else 'are'} not "
+            f"fault-capable (no fault-aware candidates() masking); fault "
+            f"experiments accept: {', '.join(capable)}.  See docs/FAULTS.md."
+        )
+
+
+def run_fault_comparison(
+    algorithms: tuple[str, ...] = COMPARE_ALGORITHMS,
+    fault_counts: tuple[int, ...] = (0, 1, 2, 4),
+    scale: str | Scale = "smoke",
+    topology=None,
+    rate: float = 0.2,
+    window: int = 250,
+    pre_windows: int = 2,
+    post_windows: int = 6,
+    fault_seed: int = 7,
+    seed: int = 4,
+    saturation: bool = True,
+    granularity: float | None = None,
+    max_rate: float = 0.7,
+    total_cycles: int | None = None,
+    workers: int | None = None,
+    check: bool = False,
+) -> FaultCompareResult:
+    """Run the head-to-head grid: ``algorithms`` x ``fault_counts``.
+
+    Every algorithm sees the *same* fault sample at each ``k`` (same
+    ``fault_seed``), so differences are routing discipline, not luck.
+    ``topology`` overrides the scale's topology (the docs' 8x8 example
+    passes ``HyperX((8, 8), 2)``); ``saturation=False`` skips the
+    steady-state sweeps (the transient grid alone is much cheaper — the
+    CI smoke step uses it).  ``granularity`` defaults to the scale's
+    sweep step; ``workers`` fans the saturation sweep points out in
+    parallel.  ``check`` attaches the runtime sanitizer to every
+    transient run.
+    """
+    validate_fault_capable(algorithms)
+    if any(k < 0 for k in fault_counts):
+        raise ValueError("fault counts must be >= 0")
+    sc = get_scale(scale)
+    base = topology if topology is not None else sc.topology()
+    gran = sc.granularity if granularity is None else granularity
+    cycles = sc.total_cycles if total_cycles is None else total_cycles
+
+    result = FaultCompareResult(
+        scale=sc.name,
+        widths=tuple(base.widths),
+        terminals_per_router=base.terminals_per_router,
+        rate=rate,
+        fault_counts=tuple(fault_counts),
+        fault_seed=fault_seed,
+        algorithms=tuple(algorithms),
+    )
+    for k in fault_counts:
+        for name in algorithms:
+            res = run_fault_transient(
+                name,
+                scale=sc,
+                rate=rate,
+                window=window,
+                pre_windows=pre_windows,
+                post_windows=post_windows,
+                fail_links=k,
+                fault_seed=fault_seed,
+                seed=seed,
+                topology=base,
+                check=check,
+            )
+            point = FaultComparePoint(
+                algorithm=name,
+                fault_links=k,
+                delivered_fraction=res.delivered_fraction,
+                settling=res.settling_time(),
+                drained=res.drained,
+                routing_error=res.routing_error,
+                masked_candidates=res.fault_counters.get(
+                    "masked_candidates", 0
+                ),
+            )
+            if saturation:
+                fset = random_faults(base, links=k, seed=fault_seed)
+                topo = DegradedTopology(base, fset)
+                algo = make_algorithm(name, topo)
+                pattern = UniformRandom(base.num_terminals)
+                try:
+                    sweep = saturation_throughput(
+                        topo, algo, pattern,
+                        granularity=gran, max_rate=max_rate,
+                        total_cycles=cycles, seed=seed, workers=workers,
+                    )
+                    point.saturation_rate = sweep.saturation_rate
+                except NoRouteError as e:
+                    point.saturation_error = str(e)
+            result.points.append(point)
+    return result
+
+
+def _fmt_delivered(p: FaultComparePoint) -> str:
+    if p.routing_error is not None:
+        return f"{p.delivered_fraction:.4f}*"
+    return f"{p.delivered_fraction:.4f}"
+
+
+def _fmt_settling(p: FaultComparePoint) -> str:
+    if p.routing_error is not None:
+        return "n/a*"
+    return str(p.settling) if p.settling is not None else "did not settle"
+
+
+def _fmt_saturation(p: FaultComparePoint) -> str:
+    if p.saturation_error is not None:
+        return "unreachable*"
+    if p.saturation_rate is None:
+        return "-"
+    return f"{p.saturation_rate:.3f}"
+
+
+def render(result: FaultCompareResult) -> str:
+    """Three metric tables (algorithms x fault counts) plus footnotes."""
+    title = (
+        f"Fault head-to-head: HyperX {result.widths} "
+        f"T={result.terminals_per_router}, rate={result.rate}, "
+        f"fault seed {result.fault_seed} ({result.scale} scale)"
+    )
+    headers = ["algorithm"] + [f"{k} faults" for k in result.fault_counts]
+
+    def grid(fmt, metric_title):
+        rows = [
+            [name] + [
+                fmt(result.cell(name, k)) for k in result.fault_counts
+            ]
+            for name in result.algorithms
+        ]
+        return format_table(headers, rows, title=metric_title)
+
+    out = [
+        title,
+        "",
+        grid(_fmt_delivered, "Delivered fraction (mid-run fault transient)"),
+        "",
+        grid(_fmt_settling, "Settling time, cycles after the fault event"),
+    ]
+    if any(
+        p.saturation_rate is not None or p.saturation_error is not None
+        for p in result.points
+    ):
+        out += [
+            "",
+            grid(
+                _fmt_saturation,
+                "Saturation throughput on the statically degraded topology",
+            ),
+        ]
+    notes = [
+        f"  * {p.algorithm} @ {p.fault_links} faults: "
+        + (p.routing_error or p.saturation_error or "")
+        for p in result.points
+        if p.routing_error is not None or p.saturation_error is not None
+    ]
+    if notes:
+        out += [
+            "",
+            "NoRouteError is a reported verdict, never a hang:",
+            *notes,
+        ]
+    return "\n".join(out)

@@ -75,7 +75,11 @@ class Network:
         self.topology = topology
         self.algorithm = algorithm
         self.cfg = cfg
-        self.vc_map = VcMap(algorithm.num_classes, cfg.router.num_vcs)
+        self.vc_map = VcMap(
+            algorithm.num_classes,
+            cfg.router.num_vcs,
+            weights=getattr(algorithm, "class_weights", None),
+        )
         #: shared FaultState when built on a repro.faults.DegradedTopology
         #: (None on a pristine topology); the FaultInjector requires it.
         self.fault_state = getattr(topology, "faults", None)

@@ -10,8 +10,12 @@ change with::
 
     PYTHONPATH=src python -m pytest tests/test_obs_golden.py --update-golden
 
-The same runs back the CLI (``python -m repro trace --golden DimWAR``)
-and the CI trace smoke job.  Determinism rests on the simulator's seeded
+The fault-capable successor algorithms (FTHX, VCFree) pin the *same*
+scenario on a statically degraded topology instead — two pinned link
+faults — so their fault-masking candidate paths are byte-pinned too.
+
+The same runs back the CLI (``python -m repro trace --golden DimWAR``,
+``--golden FTHX``) and the CI trace smoke job.  Determinism rests on the simulator's seeded
 RNG streams (NumPy ``default_rng`` bit streams are stable) and on the
 tracer's trace-local packet ids (the global ``Packet.pid`` counter is
 process-wide and deliberately not part of the stream).
@@ -32,6 +36,13 @@ from .tracer import Tracer
 #: Algorithms with a pinned golden stream (tests/golden/trace_<name>.jsonl).
 GOLDEN_ALGORITHMS = ("DOR", "DimWAR", "OmniWAR")
 
+#: Fault-routing algorithms with a pinned *faulted* golden stream
+#: (tests/golden/trace_fault_<name>.jsonl): the same scenario on a
+#: statically degraded topology, so the byte-pin covers the fault-masking
+#: candidate paths (escape subnetwork, up*/down* deroute filtering) that
+#: the pristine corpus never exercises.
+GOLDEN_FAULT_ALGORITHMS = ("FTHX", "VCFree")
+
 #: The pinned scenario (do not change without regenerating the corpus).
 GOLDEN_WIDTHS = (4, 4)
 GOLDEN_TPR = 1
@@ -41,22 +52,42 @@ GOLDEN_INJECT_CYCLES = 160
 GOLDEN_DRAIN_CYCLES = 80
 GOLDEN_OPTIONS = TraceOptions(sample_every=4, capacity=1 << 16)
 
+#: The faulted corpus' pinned fault sample (connectivity-preserving; the
+#: seed is chosen so both algorithms deliver every sampled packet).
+GOLDEN_FAULT_LINKS = 2
+GOLDEN_FAULT_SEED = 1
+
 
 def golden_filename(algorithm: str) -> str:
+    if algorithm in GOLDEN_FAULT_ALGORITHMS:
+        return f"trace_fault_{algorithm}.jsonl"
     return f"trace_{algorithm}.jsonl"
 
 
 def golden_tracer(algorithm: str) -> Tracer:
     """Run the canonical scenario for ``algorithm``; returns the detached
-    tracer holding the full event stream."""
-    if algorithm not in GOLDEN_ALGORITHMS:
-        raise ValueError(
-            f"no golden scenario for {algorithm!r}; pick one of "
-            f"{', '.join(GOLDEN_ALGORITHMS)}"
-        )
+    tracer holding the full event stream.
+
+    ``GOLDEN_ALGORITHMS`` run on the pristine 4x4; the fault-capable
+    ``GOLDEN_FAULT_ALGORITHMS`` run the same traffic on the statically
+    degraded pinned topology.
+    """
     from ..topology.hyperx import HyperX
 
     topo = HyperX(GOLDEN_WIDTHS, GOLDEN_TPR)
+    if algorithm in GOLDEN_FAULT_ALGORITHMS:
+        from ..faults.degraded import DegradedTopology
+        from ..faults.model import random_link_faults
+
+        fset = random_link_faults(
+            topo, GOLDEN_FAULT_LINKS, seed=GOLDEN_FAULT_SEED
+        )
+        topo = DegradedTopology(topo, fset)
+    elif algorithm not in GOLDEN_ALGORITHMS:
+        raise ValueError(
+            f"no golden scenario for {algorithm!r}; pick one of "
+            f"{', '.join(GOLDEN_ALGORITHMS + GOLDEN_FAULT_ALGORITHMS)}"
+        )
     net = Network(topo, make_algorithm(algorithm, topo), default_config())
     sim = Simulator(net)
     traffic = SyntheticTraffic(

@@ -159,6 +159,47 @@ def test_faults_bad_schedule_exits_2(capsys):
     assert "usage:" in err and "faults:" in err
 
 
+def test_faults_rejects_non_fault_capable_algorithm(capsys):
+    """A registered-but-not-fault-capable name fails up front with exit 2
+    and the capable list — never a mid-run NoRouteError traceback."""
+    with pytest.raises(SystemExit) as exc:
+        main(["faults", "--algorithms", "VAL", "DimWAR"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "faults:" in err
+    assert "VAL is not fault-capable" in err
+    assert "FTHX" in err and "VCFree" in err  # the capable list is named
+
+
+@pytest.mark.parametrize(
+    "argv,needle",
+    [
+        (["faults", "--compare", "--schedule", "s.json"], "--schedule"),
+        (["faults", "--terminals", "2"], "--widths"),
+        (["faults", "--compare", "--fault-counts", "-1"], "--fault-counts"),
+    ],
+)
+def test_faults_bad_flag_combos_exit_2(argv, needle, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "faults:" in err and needle in err
+
+
+def test_faults_compare_smoke(capsys):
+    rc = main([
+        "faults", "--compare", "--algorithms", "DimWAR", "FTHX",
+        "--fault-counts", "0", "1", "--no-saturation", "--rate", "0.1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fault head-to-head" in out
+    assert "Delivered fraction" in out and "Settling time" in out
+    assert "DimWAR" in out and "FTHX" in out
+    assert "aturation" not in out  # table suppressed by --no-saturation
+
+
 def _fake_recorded(path, name="test_perf_simulation_cycles_idle", min_s=1.0):
     import json
 

@@ -102,9 +102,27 @@ def test_markdown_links_resolve():
 
 def test_faults_doc_covers_the_cli():
     text = _read(os.path.join("docs", "FAULTS.md"))
-    for flag in ("--fail-links", "--fail-routers", "--fault-seed", "--schedule"):
+    for flag in (
+        "--fail-links", "--fail-routers", "--fault-seed", "--schedule",
+        "--compare", "--fault-counts", "--widths", "--terminals",
+        "--no-saturation", "--granularity", "--max-rate", "--workers",
+    ):
         assert flag in text, f"docs/FAULTS.md does not document {flag}"
     assert "python -m repro faults" in text
+
+
+def test_faults_doc_covers_the_successor_algorithms():
+    """The fault round's algorithms and their papers must be documented in
+    both the fault guide and the algorithm reference."""
+    faults = _read(os.path.join("docs", "FAULTS.md"))
+    algos = _read(os.path.join("docs", "ALGORITHMS.md"))
+    for name in ("FTHX", "VCFree"):
+        assert name in faults, f"docs/FAULTS.md does not mention {name}"
+        assert name in algos, f"docs/ALGORITHMS.md does not mention {name}"
+    for arxiv_id in ("2404.04315", "2510.14730"):
+        assert arxiv_id in algos, (
+            f"docs/ALGORITHMS.md does not cite arXiv:{arxiv_id}"
+        )
 
 
 def test_observability_doc_covers_the_cli():

@@ -1,0 +1,114 @@
+"""Tests for the head-to-head fault comparison driver (fault_compare).
+
+The driver is the paper-facing deliverable of the fault round: every
+algorithm pushed through the *same* fault samples at each fault count,
+with NoRouteError captured as a reported verdict rather than a crash.
+These tests run a tiny grid end-to-end and pin the reporting contract
+(grid shape, per-cell lookup, the ``*`` footnote convention).
+"""
+
+import pytest
+
+from repro.experiments.fault_compare import (
+    COMPARE_ALGORITHMS,
+    FaultCompareResult,
+    render,
+    run_fault_comparison,
+    validate_fault_capable,
+)
+from repro.topology.hyperx import HyperX
+
+
+def _tiny(algorithms=("DimWAR", "FTHX"), fault_counts=(0, 1), **kwargs):
+    kwargs.setdefault("topology", HyperX((3, 3), 1))
+    kwargs.setdefault("rate", 0.1)
+    kwargs.setdefault("window", 100)
+    kwargs.setdefault("pre_windows", 1)
+    kwargs.setdefault("post_windows", 3)
+    kwargs.setdefault("saturation", False)
+    return run_fault_comparison(
+        algorithms=algorithms, fault_counts=fault_counts, **kwargs
+    )
+
+
+def test_grid_is_complete_and_cells_resolve():
+    res = _tiny()
+    assert isinstance(res, FaultCompareResult)
+    assert res.widths == (3, 3)
+    assert len(res.points) == 4  # 2 algorithms x 2 fault counts
+    for name in res.algorithms:
+        for k in res.fault_counts:
+            cell = res.cell(name, k)
+            assert cell.algorithm == name and cell.fault_links == k
+            assert 0.0 <= cell.delivered_fraction <= 1.0
+
+
+def test_pristine_column_always_delivers():
+    res = _tiny()
+    for name in res.algorithms:
+        cell = res.cell(name, 0)
+        assert cell.routing_error is None
+        assert cell.delivered_fraction == 1.0
+        assert cell.drained
+
+
+def test_fthx_delivers_under_faults_where_vcfree_may_report():
+    """The head-to-head story: FTHX's escape subnetwork covers every
+    connectivity-preserving sample; VCFree's unimodal discipline may
+    legitimately report instead — but must never leave both fields empty
+    while traffic is stuck."""
+    res = _tiny(algorithms=("FTHX", "VCFree"), fault_counts=(2,))
+    fthx = res.cell("FTHX", 2)
+    assert fthx.routing_error is None
+    assert fthx.delivered_fraction == 1.0
+    vcfree = res.cell("VCFree", 2)
+    if vcfree.routing_error is None:
+        assert vcfree.drained and vcfree.delivered_fraction == 1.0
+    else:
+        assert "no candidates" in vcfree.routing_error
+
+
+def test_same_fault_samples_across_algorithms():
+    """Every algorithm sees the identical fault draw at each count — the
+    comparison is paired, not independently sampled."""
+    res = _tiny(fault_counts=(2,))
+    a, b = (res.cell(name, 2) for name in res.algorithms)
+    assert a.fault_links == b.fault_links == 2
+
+
+def test_render_tables_and_footnotes():
+    res = _tiny(algorithms=("FTHX", "VCFree"), fault_counts=(0, 2))
+    text = render(res)
+    assert "Fault head-to-head" in text
+    assert "Delivered fraction" in text
+    assert "Settling time" in text
+    assert "0 faults" in text and "2 faults" in text
+    # saturation=False suppresses the third table entirely
+    assert "Saturation throughput" not in text
+    vcfree = res.cell("VCFree", 2)
+    if vcfree.routing_error is not None:
+        # the * marker in the grid is explained by a footnote
+        assert "*" in text
+        assert "reported verdict, never a hang" in text
+
+
+def test_saturation_column_present_when_enabled():
+    res = _tiny(
+        algorithms=("DimWAR",),
+        fault_counts=(0,),
+        saturation=True,
+        granularity=0.2,
+        max_rate=0.4,
+        total_cycles=1500,
+    )
+    cell = res.cell("DimWAR", 0)
+    assert cell.saturation_rate is not None or cell.saturation_error
+    assert "Saturation throughput" in render(res)
+
+
+def test_validate_fault_capable_accepts_and_rejects():
+    validate_fault_capable(COMPARE_ALGORITHMS)
+    with pytest.raises(ValueError, match="VAL is not fault-capable"):
+        validate_fault_capable(("DimWAR", "VAL"))
+    with pytest.raises(ValueError, match="not a registered algorithm"):
+        validate_fault_capable(("NoSuchScheme",))

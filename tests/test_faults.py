@@ -186,11 +186,22 @@ def test_validate_bidirectional_peer_symmetry(topo):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("name", ["DOR", "DimWAR", "OmniWAR"])
+@pytest.mark.parametrize(
+    "name", ["DOR", "DimWAR", "OmniWAR", "FTHX", "VCFree"]
+)
 def test_fault_aware_routing_deadlock_free(name):
     base = HyperX((3, 3), 1)
     topo = DegradedTopology(base, random_link_faults(base, 2, seed=5))
     assert_deadlock_free(topo, make_algorithm(name, topo))
+
+
+def test_fthx_keeps_class_budget_under_faults():
+    """FTHX never grows VCs on failure — the escape subnetwork is always
+    provisioned, unlike DOR's fault-triggered fallback class."""
+    base = HyperX((3, 3), 1)
+    pristine = make_algorithm("FTHX", base)
+    degraded = make_algorithm("FTHX", DegradedTopology(base))
+    assert pristine.num_classes == degraded.num_classes == 6
 
 
 def test_dor_gains_fallback_class_under_faults():
@@ -223,7 +234,7 @@ def _run_static(topo, algo_name, cycles=400, rate=0.05, seed=2):
     return traffic.packets_generated, stats.packets_delivered, drained
 
 
-@pytest.mark.parametrize("name", ["DimWAR", "OmniWAR"])
+@pytest.mark.parametrize("name", ["DimWAR", "OmniWAR", "FTHX"])
 def test_8x8_three_failed_links_full_delivery(name):
     base = HyperX((8, 8), 2)
     topo = DegradedTopology(base, random_link_faults(base, 3, seed=7))
@@ -233,13 +244,30 @@ def test_8x8_three_failed_links_full_delivery(name):
     assert delivered == injected
 
 
-def test_8x8_dor_delivers_or_reports_unreachable():
+@pytest.mark.parametrize("name", ["DOR", "VCFree"])
+def test_8x8_delivers_or_reports_unreachable(name):
+    """DOR and VCFree have narrower escape envelopes than the adaptive
+    schemes: a fault pattern may make some pair unroutable within their
+    discipline, in which case the run must *report* NoRouteError — never
+    hang."""
     base = HyperX((8, 8), 2)
     topo = DegradedTopology(base, random_link_faults(base, 3, seed=7))
     try:
-        injected, delivered, drained = _run_static(topo, "DOR")
+        injected, delivered, drained = _run_static(topo, name)
     except NoRouteError:
         return  # explicitly reported, never hangs
+    assert drained
+    assert delivered == injected
+
+
+def test_vcfree_small_static_faults_deliver_or_report():
+    base = HyperX((3, 3), 1)
+    topo = DegradedTopology(base, random_link_faults(base, 1, seed=3))
+    try:
+        injected, delivered, drained = _run_static(topo, "VCFree", cycles=300)
+    except NoRouteError:
+        return
+    assert injected > 0
     assert drained
     assert delivered == injected
 

@@ -6,6 +6,15 @@ transients), exact in size (a "fail 3 links" run fails exactly 3), and —
 by default — connectivity-preserving, which is the precondition under
 which the adaptive algorithms must still deliver 100% of traffic.
 
+The second half hardens the *fault-routing algorithms* themselves over
+Hypothesis-drawn degraded topologies: the successor-paper schemes (FTHX,
+VCFree) must either deliver every packet and drain, or report a
+:class:`~repro.core.base.NoRouteError` — a sanitized run that ends with
+traffic stuck and no error is a silent deadlock, the one outcome the
+deadlock-freedom proofs forbid.  Their rank certificates and
+dependency-graph acyclicity are re-proven per drawn fault sample, since
+masking changes the reachable dependency edges.
+
 The Hypothesis profile is pinned in ``conftest.py`` (derandomized under
 ``ci``, the default), so these generate the same examples on every run.
 """
@@ -13,6 +22,10 @@ The Hypothesis profile is pinned in ``conftest.py`` (derandomized under
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.deadlock import assert_deadlock_free, verify_rank_certificate
+from repro.core.registry import make_algorithm
+from repro.experiments.faults import run_fault_transient
+from repro.faults.degraded import DegradedTopology
 from repro.faults.model import (
     LinkFault,
     RouterFault,
@@ -27,6 +40,9 @@ TOPO = HyperX((3, 3), 1)
 NUM_LINKS = len(_router_links(TOPO))  # 18 on a 3x3 HyperX
 
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: the successor-paper fault-routing schemes under property test
+NEW_ALGORITHMS = ("FTHX", "VCFree")
 
 
 @given(seed=seeds, k=st.integers(min_value=1, max_value=4))
@@ -78,3 +94,61 @@ def test_sampler_rejects_impossible_requests(seed):
         random_link_faults(TOPO, NUM_LINKS + 1, seed=seed)
     with pytest.raises(ValueError, match="router"):
         random_faults(TOPO, routers=TOPO.num_routers, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Successor-paper algorithms on drawn degraded topologies
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("algorithm", NEW_ALGORITHMS)
+@given(fault_seed=seeds, k=st.integers(min_value=0, max_value=3))
+@settings(max_examples=12)
+def test_new_algorithms_deliver_or_report_never_hang(algorithm, fault_seed, k):
+    """Delivery + the silent-deadlock check, sanitizer attached throughout.
+
+    On a connectivity-preserving sample either the run delivers every
+    packet and drains, or the algorithm reports NoRouteError (VCFree's
+    narrower escape envelope does this legitimately).  A run that neither
+    drains nor reports is a silent deadlock; a SanitizerError (invariant
+    violation, stall) propagates and fails the test on its own.
+    """
+    res = run_fault_transient(
+        algorithm,
+        topology=HyperX((3, 3), 1),
+        rate=0.2,
+        window=100,
+        pre_windows=1,
+        post_windows=3,
+        fail_links=k,
+        fault_seed=fault_seed,
+        seed=3,
+        check=True,
+    )
+    if res.routing_error is None:
+        assert res.drained, (
+            f"{algorithm} neither drained nor reported under {k} faults "
+            f"(fault seed {fault_seed}): silent deadlock"
+        )
+        assert res.delivered_fraction == 1.0
+    else:
+        assert "no candidates" in res.routing_error
+
+
+@pytest.mark.parametrize("algorithm", NEW_ALGORITHMS)
+@given(fault_seed=seeds, k=st.integers(min_value=0, max_value=3))
+@settings(max_examples=10)
+def test_new_algorithms_stay_acyclic_under_drawn_faults(
+    algorithm, fault_seed, k
+):
+    """Cycle search and the rank certificate, re-proven per fault sample.
+
+    Fault masking rewrites each algorithm's reachable candidate sets, so
+    acyclicity is re-checked on the degraded dependency graph — by
+    exhaustive cycle search and by the algorithm's own channel-rank
+    certificate, which must strictly increase along every surviving edge.
+    """
+    fset = random_link_faults(TOPO, k, seed=fault_seed) if k else None
+    topo = DegradedTopology(TOPO, fset) if fset is not None else TOPO
+    algo = make_algorithm(algorithm, topo)
+    assert_deadlock_free(topo, algo)
+    assert verify_rank_certificate(topo, algo) > 0

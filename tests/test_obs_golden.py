@@ -3,7 +3,10 @@
 Each file under ``tests/golden/`` is the complete canonical-JSONL event
 stream of one tiny pinned run (4x4 HyperX, 1 terminal/router, UR at rate
 0.25, seed 7, 160 inject + 80 drain cycles, every 4th packet sampled) for
-one routing algorithm.  The tests regenerate the same run from the current
+one routing algorithm.  The fault-capable successor algorithms (FTHX,
+VCFree) pin the same run on a statically degraded topology — two pinned
+link faults — as ``trace_fault_<name>.jsonl``, covering the fault-masking
+candidate paths the pristine corpus never takes.  The tests regenerate the same run from the current
 code and compare **bytes** — any change to routing order, rng consumption,
 event schema, or JSON canonicalization shows up as a diff against the
 pinned stream, which is exactly the point: the trace pins the simulator's
@@ -23,6 +26,7 @@ import pytest
 
 from repro.obs.golden import (
     GOLDEN_ALGORITHMS,
+    GOLDEN_FAULT_ALGORITHMS,
     GOLDEN_OPTIONS,
     golden_filename,
     golden_jsonl,
@@ -30,12 +34,15 @@ from repro.obs.golden import (
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
+#: every pinned stream: pristine baselines + faulted successor schemes
+ALL_GOLDEN = GOLDEN_ALGORITHMS + GOLDEN_FAULT_ALGORITHMS
+
 
 def _pinned_path(algorithm):
     return os.path.join(GOLDEN_DIR, golden_filename(algorithm))
 
 
-@pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
+@pytest.mark.parametrize("algorithm", ALL_GOLDEN)
 def test_golden_trace_matches_pinned_bytes(algorithm, request):
     """The pinned run reproduces its trace stream byte-for-byte."""
     current = golden_jsonl(algorithm)
@@ -64,7 +71,7 @@ def test_golden_trace_matches_pinned_bytes(algorithm, request):
         )
 
 
-@pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
+@pytest.mark.parametrize("algorithm", ALL_GOLDEN)
 def test_golden_stream_is_canonical_jsonl(algorithm):
     """Every pinned line round-trips through the canonical encoder."""
     with open(_pinned_path(algorithm)) as f:
@@ -81,7 +88,7 @@ def test_golden_stream_is_canonical_jsonl(algorithm):
 def test_golden_runs_fit_the_ring():
     """The pinned config must never overflow the ring (drops would make
     the 'complete stream' framing a lie)."""
-    for algorithm in GOLDEN_ALGORITHMS:
+    for algorithm in ALL_GOLDEN:
         tracer = _tracer(algorithm)
         assert tracer.ring.dropped == 0
         assert 0 < len(tracer.ring) <= GOLDEN_OPTIONS.capacity
