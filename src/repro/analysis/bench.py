@@ -243,6 +243,79 @@ def _bench_routing_decision():
     return decide, {"rounds": 300, "iterations": 50, "warmup_rounds": 10}
 
 
+def _xl_spec():
+    from .parallel import PointSpec
+
+    return PointSpec(
+        widths=(16, 16, 16), terminals_per_router=2, algorithm="DimWAR",
+        pattern="UR", rate=0.1, total_cycles=0, seed=1,
+    )
+
+
+def _bench_network_construction_16x16x16():
+    """One full 4096-router / 8192-terminal build (the ROADMAP's 64k-node
+    stepping stone).  A single round: the build is tens of seconds, and
+    construction cost has no warm-up or cache effects to average away."""
+    from ..config import default_config
+    from ..core.registry import make_algorithm
+    from ..network.network import Network
+    from ..topology.hyperx import HyperX
+
+    topo = HyperX((16, 16, 16), 2)
+
+    def build():
+        Network(topo, make_algorithm("DimWAR", topo), default_config())
+
+    return build, {"rounds": 1, "iterations": 1}
+
+
+def _bench_cycles_loaded_16x16x16():
+    """Loaded throughput at 16x16x16 (4096 routers), single process.
+
+    128 warm-up cycles: packet latency at this diameter is ~100 cycles,
+    so a shorter warm-up would sample the initial delivery ramp and
+    record a misleading flits/cycle."""
+    sim = _loaded_sim(
+        widths=(16, 16, 16), tpr=2, algo="DimWAR", rate=0.1, warm=128
+    )
+    net = sim.network
+    before = net.total_ejected_flits()
+    sim.run(16)
+    flits_per_cycle = (net.total_ejected_flits() - before) / 16.0
+
+    def run_chunk():
+        sim.run(16)
+
+    return run_chunk, {
+        "rounds": 3, "iterations": 1, "cycles_per_chunk": 16,
+        "flits_per_cycle": round(flits_per_cycle, 3),
+    }
+
+
+def _bench_cycles_loaded_16x16x16_sharded():
+    """The same loaded 16x16x16 scenario on the sharded engine (2 worker
+    processes; see :mod:`repro.network.shard`).  Delivered-flit streams
+    are byte-identical to the single-process scenario, so the flits/sec
+    figures compare directly.  The workers are daemons reaped at process
+    exit — the harness has no per-scenario teardown hook."""
+    from ..network.shard import ShardEngine
+
+    engine = ShardEngine(_xl_spec(), 2)
+    engine.run(128)  # same steady-state warm-up as the unsharded twin
+    before = engine.total_ejected()
+    engine.run(16)
+    flits_per_cycle = (engine.total_ejected() - before) / 16.0
+
+    def run_chunk():
+        engine.run(16)
+
+    return run_chunk, {
+        "rounds": 3, "iterations": 1, "cycles_per_chunk": 16,
+        "flits_per_cycle": round(flits_per_cycle, 3),
+        "shards": 2,
+    }
+
+
 #: name -> zero-arg factory returning (callable, options); declaration order
 #: is execution order and matches the recorded file's sort order.
 SCENARIOS = {
@@ -254,6 +327,20 @@ SCENARIOS = {
     "test_perf_simulation_cycles_loaded_16x16": _bench_cycles_loaded_16x16,
     "test_perf_simulation_fault_settling": _bench_fault_settling,
     "test_perf_traffic_generation": _bench_traffic_generation,
+}
+
+#: Target-scale scenarios behind ``repro bench --xl``: a 16x16x16 build is
+#: tens of seconds and a loaded run holds gigabytes of state, far too heavy
+#: for the default command (and for the tier-1 CLI test that runs it).
+#: ``--only`` can name them without ``--xl``.  Recorded entries survive a
+#: default-tier regeneration untouched (see :func:`merge_seed_baselines`).
+SCENARIOS_XL = {
+    "test_perf_network_construction_16x16x16":
+        _bench_network_construction_16x16x16,
+    "test_perf_simulation_cycles_loaded_16x16x16":
+        _bench_cycles_loaded_16x16x16,
+    "test_perf_simulation_cycles_loaded_16x16x16_sharded":
+        _bench_cycles_loaded_16x16x16_sharded,
 }
 
 
@@ -277,20 +364,26 @@ def _time_scenario(fn, rounds: int, iterations: int, warmup_rounds: int = 0):
     return samples
 
 
-def run_benchmarks(names=None) -> dict:
+def run_benchmarks(names=None, xl=False) -> dict:
     """Run the microbenchmarks; returns the ``repro-perf-summary/1`` dict.
 
-    ``names`` restricts to a subset (unknown names raise ValueError).
-    ``seed_min_s``/``speedup_vs_seed`` are left for the caller to graft from
-    the previously recorded file (:func:`merge_seed_baselines`).
+    ``names`` restricts to a subset (unknown names raise ValueError) and may
+    name ``SCENARIOS_XL`` entries directly; ``xl=True`` appends the whole XL
+    tier to a default run.  ``seed_min_s``/``speedup_vs_seed`` are left for
+    the caller to graft from the previously recorded file
+    (:func:`merge_seed_baselines`).
     """
-    selected = list(SCENARIOS) if names is None else list(names)
-    unknown = [n for n in selected if n not in SCENARIOS]
+    scenarios = {**SCENARIOS, **SCENARIOS_XL}
+    if names is None:
+        selected = list(SCENARIOS) + (list(SCENARIOS_XL) if xl else [])
+    else:
+        selected = list(names)
+    unknown = [n for n in selected if n not in scenarios]
     if unknown:
         raise ValueError(f"unknown benchmark(s): {', '.join(unknown)}")
     out = []
     for name in selected:
-        fn, opts = SCENARIOS[name]()
+        fn, opts = scenarios[name]()
         samples = _time_scenario(
             fn,
             rounds=opts["rounds"],
@@ -312,6 +405,8 @@ def run_benchmarks(names=None) -> dict:
             if fpc is not None:
                 entry["flits_per_cycle"] = fpc
                 entry["flits_per_sec_min"] = int(fpc * cycles / entry["min_s"])
+        if "shards" in opts:
+            entry["shards"] = opts["shards"]
         out.append(entry)
     return {
         "schema": SCHEMA,
@@ -324,7 +419,14 @@ def run_benchmarks(names=None) -> dict:
 
 def merge_seed_baselines(summary: dict, recorded: dict | None) -> dict:
     """Graft ``seed_min_s`` (and recompute ``speedup_vs_seed``) from the
-    previously recorded summary so regeneration preserves the trajectory."""
+    previously recorded summary so regeneration preserves the trajectory.
+
+    Recorded XL-tier entries that the fresh run skipped (the default
+    ``repro bench`` omits ``SCENARIOS_XL``) are carried over verbatim, so a
+    default-tier regeneration never silently drops the target-scale
+    numbers.  The perf ratchet likewise SKIPs names absent from a fresh
+    run, so carried entries are informational, not load-bearing, in CI.
+    """
     if not recorded:
         return summary
     seeds = {
@@ -336,6 +438,11 @@ def merge_seed_baselines(summary: dict, recorded: dict | None) -> dict:
         if seed is not None:
             b["seed_min_s"] = seed
             b["speedup_vs_seed"] = round(seed / b["min_s"], 2)
+    fresh = {b["name"] for b in summary["benchmarks"]}
+    for b in recorded.get("benchmarks", []):
+        if b["name"] in SCENARIOS_XL and b["name"] not in fresh:
+            summary["benchmarks"].append(dict(b))
+    summary["benchmarks"].sort(key=lambda b: b["name"])
     return summary
 
 

@@ -14,12 +14,15 @@ whose points are memoised is near-free; bumping the salt (done whenever a
 change alters simulation semantics) invalidates every archived result at
 once.
 
-What is deliberately *not* in the key: nothing.  Every field of the spec
-that can change a result is hashed; fields that provably cannot (the
-``check`` sanitizer and ``trace`` observer flags, whose no-effect guarantee
-the differential oracles enforce) make a spec **unmemoisable** instead —
-their whole point is their side effects (audits, trace artifacts), which a
-cache hit would silently skip.
+What is deliberately *not* in the key: execution machinery that provably
+cannot change a result.  The ``shards`` field (how many processes the
+sharded engine spreads the point over) is excluded — a point measured with
+any shard count replays byte-identically for every other, which the
+shard-on-vs-off differential oracle enforces.  The ``check`` sanitizer and
+``trace`` observer flags can't change results either, but they make a spec
+**unmemoisable** instead of being excluded — their whole point is their
+side effects (audits, trace artifacts), which a cache hit would silently
+skip.
 
 Usage::
 
@@ -51,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: flow control, traffic generation, stats windows) — i.e. whenever the
 #: repro.check oracles would have to be re-baselined.  Pure optimisations
 #: proven byte-identical by those oracles do NOT require a bump.
-SIM_SALT = "repro-sim/1"
+SIM_SALT = "repro-sim/2"  # /2: canonical input-VC service order (arbitration)
 
 #: storage format version for the per-point JSON files
 MEMO_SCHEMA = "repro-memo/1"

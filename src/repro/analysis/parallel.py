@@ -85,6 +85,12 @@ class PointSpec:
     #: is a frozen dataclass of primitives, so the spec stays picklable);
     #: per-point artifacts land under trace.out_dir with deterministic names
     trace: "TraceOptions | None" = None
+    #: run the point on the sharded engine (repro.network.shard) with this
+    #: many worker processes; 0 keeps the single-process path.  Sharding is
+    #: an execution detail, not a simulation parameter — results are
+    #: byte-identical for every value (the shard-on-vs-off oracle proves
+    #: it), so this field is excluded from the memo key.
+    shards: int = 0
 
 
 def run_point(spec: PointSpec) -> "PointResult":
@@ -92,6 +98,12 @@ def run_point(spec: PointSpec) -> "PointResult":
     from ..core.registry import make_algorithm
     from ..traffic.patterns import pattern_by_name
     from .sweep import measure_point
+
+    if spec.shards:
+        from ..network.shard import run_point_sharded, shard_fallback_reason
+
+        if shard_fallback_reason(spec) is None:
+            return run_point_sharded(spec)
 
     topo: "Topology" = HyperX(tuple(spec.widths), spec.terminals_per_router)
     if spec.faults:
@@ -126,6 +138,7 @@ def point_specs(
     seed: int = 1,
     check: bool = False,
     trace: "TraceOptions | None" = None,
+    shards: int = 0,
 ) -> list[PointSpec]:
     """Turn live sweep arguments into one spec per offered load.
 
@@ -188,6 +201,7 @@ def point_specs(
             faults=faults,
             check=check,
             trace=trace,
+            shards=shards,
         )
         for rate in rates
     ]

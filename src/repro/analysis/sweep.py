@@ -209,18 +209,55 @@ def measure_point(
             stem = f"trace_{algorithm.name}_{pattern.name}_r{rate:.4f}"
             write_point_trace(tracer, sampler, trace.out_dir, stem)
 
-    span = total_cycles - half
-    accepted = (net.total_ejected_flits() - ejected_at_half) / (
-        span * topology.num_terminals
+    return finalize_point(
+        rate=rate,
+        total_cycles=total_cycles,
+        num_terminals=topology.num_terminals,
+        stats=stats,
+        ejected_total=net.total_ejected_flits(),
+        ejected_at_half=ejected_at_half,
+        undelivered_backlog=net.total_backlog_flits(),
+        routes_computed=sum(r.routes_computed for r in net.routers),
+        route_stalls=sum(r.route_stalls for r in net.routers),
+        started=started,
+        monitor=monitor,
     )
+
+
+def finalize_point(
+    rate: float,
+    total_cycles: int,
+    num_terminals: int,
+    stats: PacketStats,
+    ejected_total: int,
+    ejected_at_half: int,
+    undelivered_backlog: int,
+    routes_computed: int,
+    route_stalls: int,
+    started: float,
+    monitor: LatencyMonitor | None = None,
+) -> PointResult:
+    """Classify one finished run into a :class:`PointResult`.
+
+    Shared epilogue of :func:`measure_point` and the sharded engine's
+    :func:`repro.network.shard.run_point_sharded`: every input is either an
+    exact integer aggregate (sample tuples, flit counters) or derived from
+    them, so a sharded run that merges per-shard statistics produces a
+    byte-identical result through this same arithmetic.
+    """
+    measure_start = int(total_cycles * 0.3)
+    measure_end = int(total_cycles * 0.7)
+    half = total_cycles // 2
+    span = total_cycles - half
+    accepted = (ejected_total - ejected_at_half) / (span * num_terminals)
     monitor = monitor or LatencyMonitor()
     verdict = monitor.verdict(
         stats,
         measure_start,
         measure_end,
-        topology.num_terminals,
+        num_terminals,
         offered_rate=rate,
-        undelivered_backlog=net.total_backlog_flits(),
+        undelivered_backlog=undelivered_backlog,
     )
     mean_lat = verdict.mean_latency
     if math.isnan(mean_lat):
@@ -243,8 +280,8 @@ def measure_point(
         mean_deroutes=der,
         packets_delivered=stats.packets_delivered,
         cycles=total_cycles,
-        routes_computed=sum(r.routes_computed for r in net.routers),
-        route_stalls=sum(r.route_stalls for r in net.routers),
+        routes_computed=routes_computed,
+        route_stalls=route_stalls,
         wall_clock_s=time.perf_counter() - started,
     )
 
@@ -279,10 +316,17 @@ def sweep_load(
     the spec path — the same picklable-spec restrictions as ``workers``
     apply — so ``memo`` without ``workers`` runs the spec path serially.
     Results are byte-identical with the memo on or off.
+
+    ``shards=N`` (a keyword argument forwarded into the specs) runs each
+    point on the sharded multi-process engine (:mod:`repro.network.shard`)
+    with N workers; like ``workers`` and ``memo`` it rides the spec path
+    and cannot change a byte of the result (the shard-on-vs-off oracle in
+    ``repro.check`` proves it).
     """
     result = SweepResult(algorithm=algorithm.name, pattern=pattern.name)
     ordered = sorted(rates)
-    if workers is None and memo is None:
+    if workers is None and memo is None and not kwargs.get("shards"):
+        kwargs.pop("shards", None)
         for i, rate in enumerate(ordered):
             point = measure_point(topology, algorithm, pattern, rate, **kwargs)
             if progress is not None:

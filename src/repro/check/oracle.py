@@ -4,7 +4,9 @@ The simulator has independently-optimised execution paths that must not be
 able to change results: the parallel sweep engine (worker processes rebuild
 every object from a picklable spec), the per-router route cache (memoised
 candidate lists for stateless algorithms), the router's scoring kernel (the
-batched fast weight pass vs the reference scoring loop), and the fault
+batched fast weight pass vs the reference scoring loop), the sharded
+multi-process engine (:mod:`repro.network.shard` — router slices in forked
+workers, exchanged boundary flits/credits), and the fault
 layer's :class:`~repro.faults.degraded.DegradedTopology` wrapper (which,
 with an *empty* fault set, must be a pure pass-through).  The HTTP
 experiment service layers more machinery on top — request canonicalisation,
@@ -254,6 +256,55 @@ def diff_skip_on_off(
     return compare_sweeps("skip-on-vs-off", on, off)
 
 
+def diff_shard_on_off(
+    widths=(4, 4),
+    terminals_per_router: int = 1,
+    algorithm: str = "OmniWAR",
+    pattern: str = "UR",
+    rates=(0.1, 0.3),
+    total_cycles: int = 1000,
+    seed: int = 1,
+    shard_counts=(1, 2, 4),
+    faults: FaultSet | None = None,
+) -> OracleReport:
+    """Sharded multi-process engine vs single-process, byte-identical.
+
+    The sharded engine (:mod:`repro.network.shard`) partitions the routers
+    across forked worker processes and exchanges boundary flits/credits at
+    chunk boundaries; everything about that — partial network builds, the
+    chunk lookahead, packet-replica reconstruction, pid-stream alignment of
+    unowned sources, per-shard statistics merging — must be invisible in
+    the measured curve.  Each configured shard count (including the
+    degenerate one-worker case, which still runs the full chunk protocol)
+    is compared against the same single-process sweep; ``faults`` repeats
+    the comparison on a degraded topology, where boundary ports can be
+    statically missing and mid-chunk revocations span shards.
+    """
+    suffix = " (faulted)" if faults is not None else ""
+    t1, a1, p1 = _fresh(widths, terminals_per_router, algorithm, pattern, faults)
+    base = sweep_load(
+        t1, a1, p1, list(rates), total_cycles=total_cycles, seed=seed
+    )
+    for shards in shard_counts:
+        t2, a2, p2 = _fresh(
+            widths, terminals_per_router, algorithm, pattern, faults
+        )
+        sharded = sweep_load(
+            t2, a2, p2, list(rates), total_cycles=total_cycles, seed=seed,
+            shards=shards,
+        )
+        report = compare_sweeps(
+            f"shard-on-vs-off[{shards}]{suffix}", base, sharded
+        )
+        if not report.ok:
+            return report
+    counts = ",".join(str(s) for s in shard_counts)
+    return OracleReport(
+        f"shard-on-vs-off{suffix}", True,
+        f"identical for shard counts {{{counts}}}",
+    )
+
+
 def diff_service_direct(
     widths=(4, 4),
     terminals_per_router: int = 1,
@@ -442,6 +493,10 @@ def run_all_oracles(
             widths=widths, rates=rates, total_cycles=total_cycles
         ),
         diff_trace_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
+        diff_shard_on_off(widths=widths, rates=rates, total_cycles=total_cycles),
+        diff_shard_on_off(
+            widths=widths, rates=rates, total_cycles=total_cycles, faults=faults
+        ),
         diff_service_direct(
             widths=widths, rates=rates, total_cycles=total_cycles,
             workers=workers,

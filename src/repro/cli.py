@@ -26,6 +26,7 @@ Examples::
     python -m repro faults --schedule myfaults.json --scale small
     python -m repro faults --compare --fault-counts 0 1 2 4 --widths 8 8
     python -m repro sweep --algorithm OmniWAR --check
+    python -m repro sweep --algorithm OmniWAR --widths 8 8 8 --shards 4
     python -m repro trace --algorithm OmniWAR --rate 0.3 --window 200 --heatmap vc
     python -m repro trace --golden DimWAR --jsonl /tmp/dimwar.jsonl
     python -m repro check
@@ -36,6 +37,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis.report import format_table
@@ -104,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan load points over N worker processes "
                    "(0 = all cores; default: serial)")
+    p.add_argument("--shards", type=int,
+                   default=int(os.environ.get("REPRO_SHARDS", "0")),
+                   help="split each point across N shard processes "
+                   "(repro.network.shard; default: $REPRO_SHARDS or 0 "
+                   "= single process)")
     p.add_argument("--check", action="store_true",
                    help="attach the runtime sanitizer to every point "
                    "(invariant audits; see docs/TESTING.md)")
@@ -229,6 +236,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    "rewriting it")
     p.add_argument("--only", nargs="+", default=None, metavar="NAME",
                    help="run a subset of the benchmarks by name")
+    p.add_argument("--xl", action="store_true",
+                   help="also run the target-scale 16x16x16 scenarios "
+                   "(tens of seconds and gigabytes of state each)")
 
     p = sub.add_parser(
         "serve",
@@ -258,13 +268,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_sweep(args) -> str:
+    if args.shards < 0:
+        raise ValueError("--shards must be >= 0")
     topo = HyperX(tuple(args.widths), args.terminals)
     algo = make_algorithm(args.algorithm, topo)
     pattern = pattern_by_name(args.pattern, topo)
     sweep = sweep_load(
         topo, algo, pattern, args.rates, total_cycles=args.cycles,
         seed=args.seed, workers=resolve_workers(args.workers),
-        check=args.check,
+        check=args.check, shards=args.shards,
     )
     rows = [
         [
@@ -462,7 +474,9 @@ def _cmd_bench(args) -> str:
     )
 
     recorded = load_summary(args.out)
-    summary = merge_seed_baselines(run_benchmarks(args.only), recorded)
+    summary = merge_seed_baselines(
+        run_benchmarks(args.only, xl=args.xl), recorded
+    )
     if args.compare:
         if recorded is None:
             raise ValueError(

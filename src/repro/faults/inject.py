@@ -109,7 +109,13 @@ class FaultInjector:
                 for (r, p), gap in state.degrade_link(
                     ev.router, ev.port, ev.factor
                 ).items():
-                    self.network.routers[r].out_channels[p].min_gap = gap
+                    # None holes are the unowned routers of a partial
+                    # (sharded) build: the shard owning r throttles its own
+                    # half; a boundary export's min_gap binds push-side, so
+                    # the local write alone is exact.
+                    router = self.network.routers[r]
+                    if router is not None:
+                        router.out_channels[p].min_gap = gap
             state.events_applied += 1
         if touched:
             self.network.invalidate_route_caches()
@@ -120,6 +126,7 @@ class FaultInjector:
                 if r not in state.failed_routers:
                     by_router.setdefault(r, set()).add(p)
             for r, ports in by_router.items():
-                state.revoked_routes += self.network.routers[r].revoke_unstarted_routes(
-                    ports
-                )
+                router = self.network.routers[r]
+                if router is None:
+                    continue  # unowned router of a partial (sharded) build
+                state.revoked_routes += router.revoke_unstarted_routes(ports)

@@ -5,6 +5,11 @@ topology router and one :class:`~repro.network.terminal.Terminal` per
 endpoint, then wires every directed channel (data downstream, credits
 upstream) with the configured latencies: ``channel_latency_rr`` between
 routers, ``channel_latency_rt`` between a router and its terminals.
+
+Partial builds (``owned_routers=``) construct only a subset of the routers —
+one *shard* of the network — leaving ``None`` holes everywhere else and
+terminating cross-shard links in boundary channels the sharded engine
+(:mod:`repro.network.shard`) drains and fills at chunk boundaries.
 """
 
 from __future__ import annotations
@@ -57,14 +62,32 @@ class LinkRecord:
         return f"{self.kind} {self.src}->{self.dst}"
 
 
+def _poison_sink(name: str):
+    """Sink for boundary *export* channels: delivery is a protocol bug.
+
+    The shard engine drains exports at chunk boundaries strictly before
+    their channel latency elapses (chunk length <= ``channel_latency_rr``),
+    so the simulator's delivery loop must never reach payload on one.
+    """
+
+    def sink(item):
+        raise RuntimeError(
+            f"boundary export channel {name!r} delivered in-chunk: "
+            f"shard chunk protocol violated"
+        )
+
+    return sink
+
+
 class Network:
-    """A fully wired simulated network."""
+    """A fully wired simulated network (or one shard of it)."""
 
     def __init__(
         self,
         topology: "Topology",
         algorithm: "RoutingAlgorithm",
         cfg: "SimConfig",
+        owned_routers: "set[int] | frozenset[int] | None" = None,
     ):
         cfg.validated()
         if algorithm.num_classes > cfg.router.num_vcs:
@@ -83,6 +106,12 @@ class Network:
         #: shared FaultState when built on a repro.faults.DegradedTopology
         #: (None on a pristine topology); the FaultInjector requires it.
         self.fault_state = getattr(topology, "faults", None)
+        #: router ids this build owns; None for a full (unsharded) build.
+        #: Unowned routers and their terminals are ``None`` holes in
+        #: :attr:`routers` / :attr:`terminals`.
+        self.owned_routers = (
+            None if owned_routers is None else frozenset(owned_routers)
+        )
 
         # Shared activity registries (insertion-ordered dicts used as sets).
         # Channels register on the empty->busy push transition; routers and
@@ -103,26 +132,63 @@ class Network:
         dest_router = [
             topology.router_of_terminal(t) for t in range(topology.num_terminals)
         ]
-        self.routers = [
-            Router(r, topology, algorithm, self.vc_map, cfg,
-                   np.random.default_rng(seeds[r]), dest_router=dest_router)
+        owned = self.owned_routers
+        # One port walk per router, shared between Router construction and
+        # wiring: topology.peer() does coordinate math per port, and walking
+        # router_ports twice per router was a measurable slice of large-
+        # network construction time.
+        self._ports_of: list[list | None] = [
+            list(topology.router_ports(r))
+            if owned is None or r in owned
+            else None
             for r in range(topology.num_routers)
         ]
-        self.terminals = [
+        self.routers: list[Router | None] = [
+            Router(r, topology, algorithm, self.vc_map, cfg,
+                   np.random.default_rng(seeds[r]), dest_router=dest_router,
+                   ports=self._ports_of[r])
+            if owned is None or r in owned
+            else None
+            for r in range(topology.num_routers)
+        ]
+        self.terminals: list[Terminal | None] = [
             Terminal(t, algorithm, self.vc_map, cfg)
+            if owned is None or dest_router[t] in owned
+            else None
             for t in range(topology.num_terminals)
         ]
         # Replace the components' private registries with the shared ones
         # BEFORE wiring: the flit sinks capture the registry at creation.
         for router in self.routers:
-            router._wake_registry = self._active_routers
+            if router is not None:
+                router._wake_registry = self._active_routers
         for terminal in self.terminals:
-            terminal._wake_registry = self._active_terminals
+            if terminal is not None:
+                terminal._wake_registry = self._active_terminals
         self.channels: list[Channel] = []
         #: wiring map, one :class:`LinkRecord` per credit-flow-controlled
         #: hop; built once here, consumed by the repro.check sanitizer.
+        #: Boundary half-links of a partial build are *not* recorded — the
+        #: sanitizer audits complete credit loops, which a shard does not
+        #: have at its edges (the sharded engine falls back to unsharded
+        #: execution whenever the sanitizer is requested).
         self.links: list[LinkRecord] = []
+        #: boundary channels of a partial build, keyed by
+        #: ``(kind, pushing_router, pushing_port)`` with kind ``"d"`` (data)
+        #: or ``"c"`` (credits).  ``boundary_out`` holds channels pushed by
+        #: an owned router and drained by the shard engine at chunk
+        #: boundaries; ``boundary_in`` holds channels the engine fills with
+        #: the peer shard's exports.  A shard's export key equals the
+        #: consuming shard's import key by construction.  Empty on a full
+        #: build.
+        self.boundary_out: dict[tuple, Channel] = {}
+        self.boundary_in: dict[tuple, Channel] = {}
+        #: import key -> (owned router id, port) the import terminates at;
+        #: used by the SoA core to compile delivery records for boundary
+        #: imports and by the tracer to label cross-shard link events.
+        self._boundary_in_dst: dict[tuple, tuple[int, int]] = {}
         self._wire()
+        self._ports_of = []  # construction scratch; drop the peer objects
 
     # ------------------------------------------------------------------
 
@@ -138,61 +204,117 @@ class Network:
         depth = cfg.router.buffer_depth
         lat_rr = cfg.network.channel_latency_rr
         lat_rt = cfg.network.channel_latency_rt
+        routers = self.routers
+        terminals = self.terminals
+        links_append = self.links.append
+        channel = self._channel
+        ports_of = self._ports_of
 
         for r in range(topo.num_routers):
-            a = self.routers[r]
-            for port, peer in topo.router_ports(r):
+            a = routers[r]
+            if a is None:
+                continue
+            for port, peer in ports_of[r]:
                 # Missing peers (statically-failed ports of a degraded
                 # topology) are simply left unwired.
                 if peer.is_router:
                     rp = peer.router_port
-                    b = self.routers[rp.router]
-                    data = self._channel(
+                    b = routers[rp.router]
+                    if b is None:
+                        self._wire_boundary(
+                            a, r, port, rp.router, rp.port,
+                            lat_rr, num_vcs, depth,
+                        )
+                        continue
+                    data = channel(
                         lat_rr, b.make_flit_sink(rp.port), f"r{r}p{port}->r{rp.router}"
                     )
                     tracker = CreditTracker(num_vcs, depth)
                     a.attach_output(port, data, tracker)
-                    cred = self._channel(
+                    cred = channel(
                         lat_rr, a.make_credit_sink(port),
                         f"cr r{rp.router}->r{r}p{port}", limit_rate=False,
                     )
                     b.attach_credit_return(rp.port, cred)
-                    self.links.append(LinkRecord(
+                    links_append(LinkRecord(
                         "rr", (r, port), (rp.router, rp.port), tracker,
                         a.staged[port], data, cred, b.inputs[rp.port],
                     ))
                 elif peer.is_terminal:
-                    t = self.terminals[peer.terminal]
+                    t = terminals[peer.terminal]
                     # Terminal -> router (injection).
-                    inj = self._channel(
+                    inj = channel(
                         lat_rt, a.make_flit_sink(port), f"t{t.terminal_id}->r{r}"
                     )
                     inj_tracker = CreditTracker(num_vcs, depth)
                     t.attach_injection(inj, inj_tracker)
-                    inj_cred = self._channel(
+                    inj_cred = channel(
                         lat_rt, t.make_credit_sink(),
                         f"cr r{r}->t{t.terminal_id}", limit_rate=False,
                     )
                     a.attach_credit_return(port, inj_cred)
-                    self.links.append(LinkRecord(
+                    links_append(LinkRecord(
                         "inj", t.terminal_id, (r, port), inj_tracker,
                         None, inj, inj_cred, a.inputs[port],
                     ))
                     # Router -> terminal (ejection).
-                    ej = self._channel(
+                    ej = channel(
                         lat_rt, t.make_flit_sink(), f"r{r}->t{t.terminal_id}"
                     )
                     ej_tracker = CreditTracker(num_vcs, depth)
                     a.attach_output(port, ej, ej_tracker)
-                    ej_cred = self._channel(
+                    ej_cred = channel(
                         lat_rt, a.make_credit_sink(port),
                         f"cr t{t.terminal_id}->r{r}", limit_rate=False,
                     )
                     t.attach_ejection_credit(ej_cred)
-                    self.links.append(LinkRecord(
+                    links_append(LinkRecord(
                         "ej", (r, port), t.terminal_id, ej_tracker,
                         a.staged[port], ej, ej_cred, t.receive,
                     ))
+
+    def _wire_boundary(self, a: Router, r: int, port: int, q: int, q_port: int,
+                       lat_rr: int, num_vcs: int, depth: int) -> None:
+        """Wire one cross-shard port of a partial build.
+
+        The unowned peer ``q``'s half of the link lives in another shard;
+        the four channels built here are this shard's halves of the two
+        directed data paths and their credit returns:
+
+        * export data ``("d", r, port)`` — flits this shard's router pushes
+          toward ``q``; drained by the shard engine, poison sink.
+        * import data ``("d", q, q_port)`` — flits ``q`` pushed toward us;
+          filled by the shard engine, terminates in the normal flit sink.
+        * export credits ``("c", r, port)`` — credits this router returns
+          upstream for the ``q -> r`` data path; drained, poison sink.
+        * import credits ``("c", q, q_port)`` — credits ``q`` returns for
+          the ``r -> q`` data path; filled, terminates in the credit sink.
+        """
+        data_out = self._channel(
+            lat_rr, _poison_sink(f"r{r}p{port}->shard"), f"r{r}p{port}->shard"
+        )
+        a.attach_output(port, data_out, CreditTracker(num_vcs, depth))
+        self.boundary_out[("d", r, port)] = data_out
+
+        data_in = self._channel(
+            lat_rr, a.make_flit_sink(port), f"shard->r{r}p{port}"
+        )
+        self.boundary_in[("d", q, q_port)] = data_in
+        self._boundary_in_dst[("d", q, q_port)] = (r, port)
+
+        cred_out = self._channel(
+            lat_rr, _poison_sink(f"cr r{r}p{port}->shard"),
+            f"cr r{r}p{port}->shard", limit_rate=False,
+        )
+        a.attach_credit_return(port, cred_out)
+        self.boundary_out[("c", r, port)] = cred_out
+
+        cred_in = self._channel(
+            lat_rr, a.make_credit_sink(port),
+            f"cr shard->r{r}p{port}", limit_rate=False,
+        )
+        self.boundary_in[("c", q, q_port)] = cred_in
+        self._boundary_in_dst[("c", q, q_port)] = (r, port)
 
     # ------------------------------------------------------------------
     # Introspection used by tests and the measurement harness
@@ -205,27 +327,30 @@ class Network:
             if ch.limit_rate:  # data channels only
                 n += ch.in_flight
         for r in self.routers:
+            if r is None:
+                continue
             for iu in r.inputs:
                 n += iu.occupancy()
             n += sum(r._staged_count)
         for t in self.terminals:
-            n += t.receive.occupancy()
+            if t is not None:
+                n += t.receive.occupancy()
         return n
 
     def total_injected_flits(self) -> int:
-        return sum(t.flits_injected for t in self.terminals)
+        return sum(t.flits_injected for t in self.terminals if t is not None)
 
     def total_ejected_flits(self) -> int:
-        return sum(t.flits_ejected for t in self.terminals)
+        return sum(t.flits_ejected for t in self.terminals if t is not None)
 
     def total_backlog_flits(self) -> int:
-        return sum(t.backlog_flits for t in self.terminals)
+        return sum(t.backlog_flits for t in self.terminals if t is not None)
 
     def quiescent(self) -> bool:
         """True when no traffic remains anywhere in the system."""
         return (
-            all(t.idle for t in self.terminals)
-            and all(r.idle for r in self.routers)
+            all(t.idle for t in self.terminals if t is not None)
+            and all(r.idle for r in self.routers if r is not None)
             and all(not ch.busy for ch in self.channels)
         )
 
@@ -239,6 +364,8 @@ class Network:
         value.
         """
         for r in self.routers:
+            if r is None:
+                continue
             r._route_cache.clear()
             ready = r._stage_ready
             for p in range(len(ready)):
@@ -252,12 +379,16 @@ class Network:
           degraded topology — are unwired on every attachment),
         * every alive terminal is attached on both directions; terminals of
           statically-failed routers are fully detached,
-        * channel counts match the surviving structure.
+        * channel counts match the surviving structure (partial builds count
+          four channels per boundary port: data + credits, each direction).
         """
         topo = self.topology
+        owned = self.owned_routers
         expected_channels = 0
         for r in range(topo.num_routers):
             router = self.routers[r]
+            if router is None:
+                continue
             for port, peer in topo.router_ports(r):
                 if peer.is_missing:
                     assert router.out_channels[port] is None, (
@@ -273,8 +404,17 @@ class Network:
                 assert router._credit_return[port] is not None, (
                     f"router {r} port {port} has no credit return path"
                 )
-                expected_channels += 2  # data out + credit return
+                if (
+                    owned is not None
+                    and peer.is_router
+                    and peer.router_port.router not in owned
+                ):
+                    expected_channels += 4  # boundary: data + credit, both ways
+                else:
+                    expected_channels += 2  # data out + credit return
         for t in self.terminals:
+            if t is None:
+                continue
             if t.inject_channel is None:
                 # Terminal of a statically-failed router: fully detached.
                 assert t.inject_credits is None and t.eject_credit_channel is None

@@ -70,6 +70,7 @@ class Router:
         cfg: "SimConfig",
         rng: np.random.Generator,
         dest_router: list[int] | None = None,
+        ports: "list[tuple[int, object]] | None" = None,
     ):
         self.router_id = router_id
         self.topology = topology
@@ -84,9 +85,13 @@ class Router:
         self._buffer_depth = rc.buffer_depth
 
         # Which ports face terminals (ejection targets / injection sources).
+        # The Network builder passes its own (port, peer) walk in via
+        # ``ports`` so topology.peer() runs once per port per build instead
+        # of twice; standalone routers (unit tests) walk it themselves.
         self.terminal_ports: set[int] = set()
         self.terminal_of_port: dict[int, int] = {}
-        for port, peer in topology.router_ports(router_id):
+        for port, peer in (ports if ports is not None
+                           else topology.router_ports(router_id)):
             if peer.is_terminal:
                 self.terminal_ports.add(port)
                 self.terminal_of_port[port] = peer.terminal
@@ -110,13 +115,22 @@ class Router:
         ]
         self._staged_count = [0] * self.radix
 
-        # Active-set bookkeeping (dicts preserve deterministic insertion
-        # order).  _active_in maps (port, vc) -> (VcState, fifo, port, vc),
-        # the preresolved entry the input pass works from (built once per
-        # input port by make_flit_sink).
-        self._active_in: dict[tuple[int, int], tuple] = {}
+        # Active-set bookkeeping.  _active_in is a *sorted* list of live
+        # flat input keys (``port * num_vcs + vc``); the input pass iterates
+        # it in ascending (port, vc) order and resolves each key through
+        # _in_ents, the preresolved (VcState, fifo, port, vc) entries built
+        # once per input port by make_flit_sink.  Keeping the schedule
+        # canonical — a static property of the wiring, not of arrival
+        # history — makes every within-cycle delivery interleaving
+        # observationally equivalent, which is what lets the sharded engine
+        # (repro.network.shard) reproduce single-process arbitration
+        # byte-for-byte from per-shard state alone.
+        self._active_in: list[int] = []
+        self._in_ents: list[tuple | None] = [None] * (self.radix * self.num_vcs)
         # _active_out maps port -> (channel, staged queues, live-VC list),
-        # the preresolved entry built by attach_output.
+        # the preresolved entry built by attach_output.  Insertion order is
+        # the order the input pass first stages to each port — a function of
+        # the canonical input schedule, so it is reproducible too.
         self._active_out: dict[int, tuple] = {}
 
         # Sequential allocation (Section 4.1): flits committed by routing
@@ -142,8 +156,11 @@ class Router:
         self._stage_cap = rc.output_queue_depth * self.num_vcs
         self._port_scope = rc.congestion_scope == "port"
         self._track_vc_trace = cfg.network.track_vc_trace
-        self._vcs_of = [vc_map.vcs_of(k) for k in range(vc_map.num_classes)]
-        self._class_of = [vc_map.class_of(v) for v in range(self.num_vcs)]
+        # Shared references into the VcMap's own tables: identical for every
+        # router of a network, read-only on this side, and rebuilding them
+        # per router was a measurable slice of large-network construction.
+        self._vcs_of = vc_map._groups
+        self._class_of = vc_map._class_of
         self._is_term_port = [p in self.terminal_ports for p in range(self.radix)]
         # Destination router per terminal, tabulated: _compute_route resolves
         # the dest router with one list index instead of a topology call per
@@ -216,17 +233,17 @@ class Router:
         # round-robin arbiter leaves `_stage_ready` untouched on a no-grant
         # pass, keeping it <= cycle — a standing veto, so staleness is
         # conservative there too.
-        self._asleep: set[tuple[int, int]] = set()
-        self._credit_waiter: list[list[tuple[int, int] | None]] = [
+        self._asleep: set[int] = set()  # flat input keys, as in _active_in
+        self._credit_waiter: list[list[int | None]] = [
             [None] * self.num_vcs for _ in range(self.radix)
         ]
         self._staged_live: list[list[int]] = [[] for _ in range(self.radix)]
         self._stage_ready = [0] * self.radix
         # Reusable deferred-deletion scratch for the step loops: marking dead
         # keys and deleting after the pass lets the loops iterate the active
-        # dicts directly instead of copying them every cycle (nothing inserts
-        # into these dicts during the compute phase).
-        self._dead_in: list[tuple[int, int]] = []
+        # sets directly instead of copying them every cycle (nothing inserts
+        # into these sets during the compute phase).
+        self._dead_in: list[int] = []
         self._dead_out: list[int] = []
 
         # Route observation hooks (repro.check VC-legality sanitizer,
@@ -308,11 +325,13 @@ class Router:
         depth = self.inputs[port].depth
         active = self._active_in
         wake = self._wake_registry
-        # Interned (port, vc) keys and preresolved work entries: the input
-        # pass unpacks (state, fifo, port, vc) straight from the active-set
-        # value instead of re-indexing inputs[port].vcs[vc] per cycle.
-        keys = [(port, v) for v in range(self.num_vcs)]
+        # Flat input keys and preresolved work entries: the input pass
+        # resolves (state, fifo, port, vc) with one list index per live key
+        # instead of re-indexing inputs[port].vcs[vc] per cycle.
+        keys = [port * self.num_vcs + v for v in range(self.num_vcs)]
         ents = [(vcs[v], vcs[v].fifo, port, v) for v in range(self.num_vcs)]
+        for v in range(self.num_vcs):
+            self._in_ents[keys[v]] = ents[v]
 
         fifos = [vcs[v].fifo for v in range(self.num_vcs)]
         # Shared with the SoA core's per-channel delivery record
@@ -332,12 +351,18 @@ class Router:
             fifo.append(flit)
             if n == 0:
                 # Empty->busy transition; a non-empty FIFO implies the key
-                # is already registered (and the router already awake), and
-                # a dict re-assignment would not move it anyway.
-                active[keys[vc]] = ents[vc]
+                # is already registered (a key leaves the live list only in
+                # the pass that observes its FIFO empty).
+                insort(active, keys[vc])
                 wake[self] = None
 
         return sink
+
+    def active_input_keys(self) -> list[tuple[int, int]]:
+        """The live input VCs as (port, vc) pairs, in schedule order
+        (introspection for tests and tools; the hot path keeps flat keys)."""
+        nv = self.num_vcs
+        return [divmod(k, nv) for k in self._active_in]
 
     def make_credit_sink(self, port: int):
         """Sink for credits (bare VC ids) returned downstream of ``port``.
@@ -427,6 +452,7 @@ class Router:
                     pc[p] = 0
                 ct.clear()
         active = self._active_in
+        in_ents = self._in_ents
         asleep = self._asleep
         trackers = self.credit_trackers
         staged_count = self._staged_count
@@ -444,10 +470,10 @@ class Router:
         # to sleep is never revisited in the same pass — so when the set is
         # empty at loop entry the membership test can be skipped entirely.
         check_asleep = bool(asleep)
-        for key, ent in active.items():
+        for key in active:
             if check_asleep and key in asleep:
                 continue  # blocked on credits; the credit sink wakes it
-            state, fifo, port, vc = ent
+            state, fifo, port, vc = in_ents[key]
             if not fifo:
                 dead.append(key)
                 continue
@@ -528,7 +554,7 @@ class Router:
             self.flits_forwarded += forwarded
         if dead:
             for key in dead:
-                del active[key]
+                active.remove(key)
             dead.clear()
 
     def _step_outputs(self, cycle: int) -> None:
@@ -882,11 +908,12 @@ class Router:
                 head = state.fifo[0] if state.fifo else None
                 if head is None or not head.is_head or head.index != 0:
                     continue  # transfer started (or head already moved on): drain
+                flat = port * self.num_vcs + vc
                 self.out_vc_owner[route.out_port][route.out_vc] = None
                 # The revoked route may be asleep waiting on a credit that
                 # will never matter again; wake it so the re-route runs.
                 self._credit_waiter[route.out_port][route.out_vc] = None
-                self._asleep.discard((port, vc))
+                self._asleep.discard(flat)
                 state.route = None
                 packet = head.packet
                 packet.hops -= 1
@@ -895,7 +922,12 @@ class Router:
                 if self._track_vc_trace and packet.vc_trace:
                     packet.vc_trace.pop()
                     packet.port_trace.pop()
-                self._active_in[(port, vc)] = (state, state.fifo, port, vc)
+                # A revocable head implies a non-empty FIFO, so the key is
+                # already live; the membership check is defensive (cold path).
+                if self._in_ents[flat] is None:
+                    self._in_ents[flat] = (state, state.fifo, port, vc)
+                if flat not in self._active_in:
+                    insort(self._active_in, flat)
                 self._wake_registry[self] = None
                 revoked += 1
         return revoked

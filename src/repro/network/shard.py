@@ -1,0 +1,625 @@
+"""Sharded multi-process simulation engine.
+
+Large HyperX instances (16x16x16 = 4096 routers, 64k terminals at 16
+terminals/router) are too much work for one Python process: even with the
+SoA datapath the per-cycle compute is serial.  This module partitions the
+routers of one simulation across worker processes — one *shard* each — and
+advances the shards in lock-stepped bounded-cycle chunks, exchanging the
+flits and credits that cross shard boundaries over pipes.
+
+**Partitioning.**  :class:`ShardPlan` slices the topology along its widest
+dimension into contiguous coordinate blocks, one per shard; a shard owns
+every router whose coordinate in that dimension falls in its block (and the
+terminals of those routers).  Each worker builds a *partial*
+:class:`~repro.network.network.Network` (``owned_routers=``): unowned
+routers are ``None`` holes and cross-shard links terminate in boundary
+channels (:attr:`Network.boundary_out` / :attr:`Network.boundary_in`).
+
+**Chunk protocol.**  The conservative lookahead is the router-to-router
+channel latency ``L = channel_latency_rr``: a flit pushed onto a boundary
+channel at cycle ``u`` cannot be delivered before ``u + L``, so a chunk of
+at most ``L`` cycles can run with no mid-chunk communication — every
+boundary crossing pushed inside chunk ``[t, t+l)``, ``l <= L``, has ready
+cycle ``u + L >= t + L > t + l - 1`` and is still parked in its export
+channel when the chunk ends.  The coordinator then drains each shard's
+exports and injects them into the importing shard's boundary channels at
+the start of the next chunk, timestamps intact: the receiving shard
+delivers each item at exactly the cycle the unsharded simulator would.
+Export channels carry a poison sink (:func:`~repro.network.network`'s
+``_poison_sink``) so any protocol violation raises instead of corrupting
+state.
+
+**Skip-ahead composition.**  Each worker reports, with its exports, a bound
+from :meth:`~repro.network.simulator.Simulator.next_event_cycle` — the
+earliest cycle its shard can change state absent external input.  When the
+minimum of those bounds (and of the ready cycles of any exports in flight)
+exceeds ``t + L``, nothing anywhere can happen in between and the
+coordinator issues one long chunk straight to the bound: global quiescence
+compresses to a single round trip, composing with each worker's own
+in-chunk cycle skip-ahead.  A ``None`` bound (a process without
+``next_wakeup``) vetoes long chunks; correctness never depends on jumping.
+
+**Determinism.**  Every worker runs the *full* traffic process against the
+same seed, replaying the complete RNG stream; sources owned by other shards
+consume their packet id and inject nothing (see
+:mod:`repro.traffic.injection`), so packet ids and Bernoulli draws are
+aligned across shards and with the unsharded run.  Cross-shard flits are
+re-materialized from wire descriptors onto per-shard *replica* packets
+(refcounted by transit, evicted when the tail passes), so a packet's
+telemetry (hops, deroutes, create cycle) travels with its head flit.
+Merged statistics are byte-identical to single-process runs for any shard
+count — the ``shard-on-vs-off`` differential oracle in ``repro.check``
+enforces it.
+
+**Tracing.**  ``ShardEngine(..., trace=TraceOptions(pid_ids=True))``
+attaches a :class:`~repro.obs.tracer.Tracer` inside every worker; each
+lifecycle event is recorded by exactly one shard, :func:`merged_trace`
+concatenates the per-shard streams from the finish reports, and
+:func:`~repro.obs.export.canonical_jsonl` renders them byte-identical to
+a canonicalized unsharded trace of the same run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import TYPE_CHECKING, Any
+
+from ..config import default_config
+from .network import Network
+from .simulator import Simulator
+from .stats import LatencySample, PacketStats
+from .types import Flit, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.parallel import PointSpec
+    from ..analysis.sweep import PointResult
+    from ..faults.model import FaultSchedule
+    from ..topology.base import Topology
+
+#: boundary-channel key: ("d" | "c", pushing_router, pushing_port)
+BoundaryKey = tuple
+
+
+class ShardPlan:
+    """Partition of a topology's routers into contiguous dimension slices.
+
+    The partition dimension is the widest one (ties break to the lowest
+    index), split into ``shards`` contiguous coordinate blocks whose sizes
+    differ by at most one.  More shards than the widest dimension has
+    coordinates cannot be placed (a block would be empty) and raises.
+    """
+
+    def __init__(self, topology: "Topology", shards: int):
+        widths = tuple(topology.widths)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        dim = max(range(len(widths)), key=widths.__getitem__)
+        if shards > widths[dim]:
+            raise ValueError(
+                f"{shards} shards exceed the widest dimension ({widths[dim]})"
+            )
+        base, extra = divmod(widths[dim], shards)
+        blocks: list[tuple[int, int]] = []
+        start = 0
+        for s in range(shards):
+            stop = start + base + (1 if s < extra else 0)
+            blocks.append((start, stop))
+            start = stop
+        self.topology = topology
+        self.shards = shards
+        self.dim = dim
+        #: per-shard [lo, hi) coordinate blocks along :attr:`dim`
+        self.blocks = tuple(blocks)
+
+    def shard_of_router(self, router: int) -> int:
+        c = self.topology.coords(router)[self.dim]
+        for s, (lo, hi) in enumerate(self.blocks):
+            if lo <= c < hi:
+                return s
+        raise ValueError(f"router {router} coordinate {c} outside every block")
+
+    def owned_routers(self, shard: int) -> frozenset[int]:
+        lo, hi = self.blocks[shard]
+        dim = self.dim
+        topo = self.topology
+        return frozenset(
+            r for r in range(topo.num_routers) if lo <= topo.coords(r)[dim] < hi
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _WorkerState:
+    """One shard's live simulation plus the cross-shard packet replica map."""
+
+    def __init__(self, spec: "PointSpec", owned: frozenset[int], schedule,
+                 trace=None):
+        from ..core.registry import make_algorithm
+        from ..topology.hyperx import HyperX
+        from ..traffic.injection import SyntheticTraffic
+        from ..traffic.sizes import UniformSize
+
+        from ..traffic.patterns import pattern_by_name
+
+        topo: "Topology" = HyperX(tuple(spec.widths), spec.terminals_per_router)
+        if spec.faults or schedule is not None:
+            from ..faults.degraded import DegradedTopology
+            from ..faults.model import FaultSet
+
+            topo = DegradedTopology(topo, FaultSet(list(spec.faults)))
+        algorithm = make_algorithm(
+            spec.algorithm, topo, **dict(spec.algorithm_kwargs)
+        )
+        pattern = pattern_by_name(spec.pattern, topo)
+        cfg = spec.cfg or default_config()
+        self.net = Network(topo, algorithm, cfg, owned_routers=owned)
+        self.sim = Simulator(self.net)
+        if schedule is not None:
+            from ..faults.inject import FaultInjector
+
+            # Injector before traffic, matching the order the per-cycle
+            # reference harness registers them: fault flips land before the
+            # cycle's injections.
+            self.sim.processes.append(FaultInjector(self.net, schedule))
+        traffic = SyntheticTraffic(
+            self.net,
+            pattern,
+            spec.rate,
+            spec.size_dist or UniformSize(1, 16),
+            seed=spec.seed,
+        )
+        self.sim.processes.append(traffic)
+        self.stats = PacketStats()
+        for t in self.net.terminals:
+            if t is not None:
+                t.delivery_listeners.append(self.stats.on_delivery)
+        # pid -> [replica Packet, transits-in-flight]; a head import creates
+        # or refreshes the replica, the matching tail import drops the ref.
+        self._replicas: dict[int, list] = {}
+        self.tracer = None
+        if trace is not None:
+            from ..obs.tracer import Tracer
+
+            if not trace.pid_ids:
+                raise ValueError(
+                    "sharded tracing needs TraceOptions(pid_ids=True): "
+                    "trace-local ids cannot identify a packet whose inject "
+                    "happened in another shard"
+                )
+            self.tracer = Tracer(self.sim, trace).attach()
+
+    # -- chunk boundary ------------------------------------------------
+
+    def apply_imports(self, imports: list) -> None:
+        """Queue the peer shards' exports onto our boundary-in channels.
+
+        Items keep the ready cycles stamped at push time, so delivery
+        happens at exactly the unsharded cycle.  Entries already in the
+        pipe (from earlier chunks) are strictly earlier — an old entry's
+        ready precedes the previous chunk's start plus ``L``, a new one's
+        follows it — so appending preserves the pipe's ready ordering.
+        """
+        net = self.net
+        boundary_in = net.boundary_in
+        active = net._active_channels
+        replicas = self._replicas
+        for key, items in imports:
+            ch = boundary_in[key]
+            pipe = ch._pipe
+            was_empty = not pipe
+            if key[0] == "c":
+                pipe.extend(items)
+            else:
+                for ready, vc, index, info in items:
+                    if index == 0:
+                        (src, dst, size, cc, pid, inj, hops, der,
+                         rs, vt, pt) = info
+                        ent = replicas.get(pid)
+                        if ent is None:
+                            ent = replicas[pid] = [
+                                Packet(src, dst, size, cc, pid=pid), 0
+                            ]
+                        pkt = ent[0]
+                        pkt.inject_cycle = inj
+                        pkt.hops = hops
+                        pkt.deroutes = der
+                        pkt._routing_state = rs
+                        pkt.vc_trace = vt
+                        pkt.port_trace = pt
+                        ent[1] += 1
+                    else:
+                        ent = replicas.get(info)
+                        if ent is None:
+                            raise RuntimeError(
+                                f"body flit of unknown packet {info} crossed "
+                                f"the shard boundary before its head"
+                            )
+                        pkt = ent[0]
+                    flit = Flit(pkt, index)
+                    if flit.tail:
+                        ent[1] -= 1
+                        if ent[1] <= 0:
+                            del replicas[pkt.pid]
+                    pipe.append((ready, (vc, flit)))
+            if was_empty and pipe:
+                ch._next_ready = pipe[0][0]
+                active[ch] = None
+
+    def drain_exports(self) -> list:
+        """Pop every parked boundary export, encoded for the wire.
+
+        A head flit carries the packet's full descriptor (the importer
+        builds or refreshes its replica from it); body and tail flits carry
+        just ``(pid, index)``.  The descriptor is taken at drain time, after
+        the chunk completed — safe, because once a head is parked in an
+        export channel no router in *this* shard can touch its packet again
+        (the next route decision belongs to the importing shard).
+        """
+        out = []
+        active = self.net._active_channels
+        for key, ch in self.net.boundary_out.items():
+            pipe = ch._pipe
+            if not pipe:
+                continue
+            if key[0] == "c":
+                items: list = list(pipe)
+            else:
+                items = []
+                for ready, (vc, flit) in pipe:
+                    p = flit.packet
+                    if flit.index == 0:
+                        items.append((ready, vc, 0, (
+                            p.src_terminal, p.dst_terminal, p.size,
+                            p.create_cycle, p.pid, p.inject_cycle,
+                            p.hops, p.deroutes, p._routing_state,
+                            p.vc_trace, p.port_trace,
+                        )))
+                    else:
+                        items.append((ready, vc, flit.index, p.pid))
+            pipe.clear()
+            active.pop(ch, None)
+            out.append((key, items))
+        return out
+
+    # -- end of run ----------------------------------------------------
+
+    def report(self) -> dict[str, Any]:
+        net, stats = self.net, self.stats
+        trace: dict[str, Any] = {}
+        if self.tracer is not None:
+            trace["trace_events"] = [
+                (ev.cycle, ev.type, ev.pkt, ev.where, ev.data)
+                for ev in self.tracer.events()
+            ]
+            trace["trace_dropped"] = self.tracer.ring.dropped
+        return {
+            **trace,
+            "samples": [
+                (s.create_cycle, s.latency, s.hops, s.deroutes)
+                for s in stats.samples
+            ],
+            "packets_delivered": stats.packets_delivered,
+            "flits_delivered": stats.flits_delivered,
+            "ejected": net.total_ejected_flits(),
+            "backlog": net.total_backlog_flits(),
+            "routes_computed": sum(
+                r.routes_computed for r in net.routers if r is not None
+            ),
+            "route_stalls": sum(
+                r.route_stalls for r in net.routers if r is not None
+            ),
+        }
+
+
+def _shard_worker(conn, spec: "PointSpec", owned: frozenset[int], schedule,
+                  trace=None) -> None:
+    """Worker process entry: build one shard, then serve chunk requests."""
+    try:
+        state = _WorkerState(spec, owned, schedule, trace)
+        net, sim = state.net, state.sim
+        conn.send(("ok", (list(net.boundary_in), list(net.boundary_out))))
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "chunk":
+                _, end, imports = msg
+                state.apply_imports(imports)
+                sim.run(end - sim.cycle)
+                exports = state.drain_exports()
+                conn.send(("ok", (exports, sim.next_event_cycle())))
+            elif op == "ejected":
+                conn.send(("ok", net.total_ejected_flits()))
+            elif op == "finish":
+                conn.send(("ok", state.report()))
+            elif op == "stop":
+                return
+            else:
+                raise RuntimeError(f"unknown shard op {op!r}")
+    except BaseException:  # report the failure instead of dying silently
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class ShardEngine:
+    """Coordinates one sharded simulation across forked worker processes.
+
+    The public surface mirrors what ``measure_point`` needs from a
+    simulator: :meth:`run` to advance the global clock, :meth:`total_ejected`
+    for the mid-run throughput snapshot, :meth:`finish` for the merged
+    end-of-run statistics, and :meth:`close` to tear the workers down.
+
+    Workers are forked (never spawned): fork shares the parent's packet-id
+    counter position, which keeps pids aligned with an unsharded run in the
+    same process, and skips re-importing the simulator in each worker.
+    """
+
+    def __init__(self, spec: "PointSpec", shards: int,
+                 schedule: "FaultSchedule | None" = None, trace=None):
+        from ..topology.hyperx import HyperX
+
+        topo = HyperX(tuple(spec.widths), spec.terminals_per_router)
+        self.plan = ShardPlan(topo, shards)
+        self.shards = shards
+        self.num_terminals = topo.num_terminals
+        cfg = spec.cfg or default_config()
+        #: conservative chunk length: the cross-shard channel latency
+        self._chunk_cycles = cfg.network.channel_latency_rr
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for s in range(shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, spec, self.plan.owned_routers(s), schedule, trace),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        # Handshake: each worker names its import/export keys; a shard's
+        # export key is the importing shard's import key by construction,
+        # which yields the export -> destination-shard routing tables.
+        import_owner: dict[BoundaryKey, int] = {}
+        export_keys: list[list[BoundaryKey]] = []
+        for s in range(shards):
+            imports, exports = self._recv(s)
+            for key in imports:
+                import_owner[key] = s
+            export_keys.append(exports)
+        self._export_dst: list[dict[BoundaryKey, int]] = []
+        for s in range(shards):
+            table = {}
+            for key in export_keys[s]:
+                owner = import_owner.get(key)
+                if owner is None:
+                    raise RuntimeError(
+                        f"boundary export {key!r} has no importing shard"
+                    )
+                table[key] = owner
+            self._export_dst.append(table)
+        # Exports drained from one chunk, awaiting injection with the next.
+        self._pending: list[list] = [[] for _ in range(shards)]
+        self._cycle = 0
+        # min over worker next-event bounds and pending-import ready
+        # cycles; None = unknown (vetoes long chunks).
+        self._bound: int | None = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _recv(self, shard: int):
+        try:
+            msg = self._conns[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {shard} died without reporting an error"
+            ) from None
+        if msg[0] == "error":
+            raise RuntimeError(f"shard worker {shard} failed:\n{msg[1]}")
+        if msg[0] != "ok":
+            raise RuntimeError(
+                f"unexpected reply {msg[0]!r} from shard worker {shard}"
+            )
+        return msg[1]
+
+    # -- public surface ------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def run(self, cycles: int) -> None:
+        """Advance every shard by ``cycles`` cycles, chunk by chunk.
+
+        Each round trip covers ``min(L, remaining)`` cycles — or jumps
+        straight to the global next-event bound when that bound clears
+        ``t + L``, in which case no shard can push anything in the gap
+        (the bound says no state changes before it, and there are no
+        imports in flight, or the bound would not clear ``t + L``).
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        target = self._cycle + cycles
+        L = self._chunk_cycles
+        conns = self._conns
+        pending = self._pending
+        export_dst = self._export_dst
+        while self._cycle < target:
+            t = self._cycle
+            bound = self._bound
+            if bound is not None and bound > t + L:
+                end = min(bound, target)
+            else:
+                end = min(t + L, target)
+            for s, conn in enumerate(conns):
+                conn.send(("chunk", end, pending[s]))
+                pending[s] = []
+            bounds: list[int | None] = []
+            for s in range(len(conns)):
+                exports, b = self._recv(s)
+                bounds.append(b)
+                dst = export_dst[s]
+                for key, items in exports:
+                    pending[dst[key]].append((key, items))
+            self._cycle = end
+            gb: int | None = None
+            valid = True
+            for b in bounds:
+                if b is None:
+                    valid = False
+                    break
+                if gb is None or b < gb:
+                    gb = b
+            if valid:
+                for batch in pending:
+                    for _key, items in batch:
+                        first = items[0][0]  # items are ready-ordered
+                        if gb is None or first < gb:
+                            gb = first
+                self._bound = gb
+            else:
+                self._bound = None
+
+    def total_ejected(self) -> int:
+        """Flits consumed at terminals so far, summed across shards."""
+        for conn in self._conns:
+            conn.send(("ejected",))
+        return sum(self._recv(s) for s in range(self.shards))
+
+    def finish(self) -> list[dict[str, Any]]:
+        """Collect every shard's end-of-run report (in shard order)."""
+        for conn in self._conns:
+            conn.send(("finish",))
+        return [self._recv(s) for s in range(self.shards)]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Spec-level entry points
+# ----------------------------------------------------------------------
+
+
+def merged_trace(reports: list) -> tuple[list, int]:
+    """Merge per-shard trace payloads from :meth:`ShardEngine.finish`.
+
+    Returns ``(events, dropped)``: every shard's
+    :class:`~repro.obs.events.TraceEvent` records in one list (shard order,
+    not globally sorted — feed them to
+    :func:`~repro.obs.export.canonical_jsonl` for comparable bytes) and the
+    summed ring-drop count.  Each lifecycle event is recorded by exactly
+    one shard — inject/eject by the terminal's owner, route/sa by the
+    router's, link by the receiving end — so the merge is a plain
+    concatenation with no dedup.
+    """
+    from ..obs.events import TraceEvent
+
+    events = []
+    dropped = 0
+    for rep in reports:
+        dropped += rep.get("trace_dropped", 0)
+        for cycle, type_, pkt, where, data in rep.get("trace_events", ()):
+            events.append(TraceEvent(cycle, type_, pkt, where, data))
+    return events, dropped
+
+
+def shard_fallback_reason(spec: "PointSpec") -> str | None:
+    """Why this spec cannot run sharded, or None when it can.
+
+    Mirrors the SoA/skip ``fallback_reason`` convention: a non-None reason
+    routes the point to the single-process path, and results are identical
+    either way — sharding only changes wall-clock and memory.
+    """
+    if spec.check:
+        return "sanitizer audits complete credit loops, which shard boundaries split"
+    if spec.trace is not None:
+        return (
+            "traced sweep points take the single-process path (their "
+            "golden-pinned JSONL depends on recording order; sharded "
+            "tracing is the explicit ShardEngine(trace=...) API)"
+        )
+    if max(spec.widths) < spec.shards:
+        return (
+            f"{spec.shards} shards need a dimension at least that wide "
+            f"(widest is {max(spec.widths)})"
+        )
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "no fork start method on this platform"
+    return None
+
+
+def run_point_sharded(spec: "PointSpec",
+                      schedule: "FaultSchedule | None" = None) -> "PointResult":
+    """Measure one load point on the sharded engine.
+
+    Replays ``measure_point``'s exact schedule — run to the half-way mark,
+    snapshot ejected flits, run the rest — then folds the per-shard reports
+    into one :class:`~repro.network.stats.PacketStats` and hands the same
+    integer aggregates to :func:`~repro.analysis.sweep.finalize_point`, so
+    the resulting point is byte-identical to the single-process one.
+    """
+    from ..analysis.sweep import finalize_point
+
+    started = time.perf_counter()
+    total = spec.total_cycles
+    half = total // 2
+    engine = ShardEngine(spec, spec.shards, schedule=schedule)
+    try:
+        engine.run(half)
+        ejected_at_half = engine.total_ejected()
+        engine.run(total - half)
+        reports = engine.finish()
+    finally:
+        engine.close()
+    stats = PacketStats()
+    for rep in reports:
+        stats.samples.extend(LatencySample(*t) for t in rep["samples"])
+        stats.packets_delivered += rep["packets_delivered"]
+        stats.flits_delivered += rep["flits_delivered"]
+    return finalize_point(
+        rate=spec.rate,
+        total_cycles=total,
+        num_terminals=engine.num_terminals,
+        stats=stats,
+        ejected_total=sum(r["ejected"] for r in reports),
+        ejected_at_half=ejected_at_half,
+        undelivered_backlog=sum(r["backlog"] for r in reports),
+        routes_computed=sum(r["routes_computed"] for r in reports),
+        route_stalls=sum(r["route_stalls"] for r in reports),
+        started=started,
+    )

@@ -54,10 +54,10 @@ same cycle-exact results either way.
 from __future__ import annotations
 
 from bisect import insort
-from collections import deque
 from typing import TYPE_CHECKING
 
 from .skip import next_event_bound
+from .types import Flit
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
@@ -90,7 +90,8 @@ def fallback_reason(sim: "Simulator") -> str | None:
         if not getattr(proc, "soa_safe", False):
             return f"process {type(proc).__name__} is not marked soa_safe"
     for r in net.routers:
-        if r._route_hooks or r._forward_hooks:
+        # None holes are the unowned routers of a partial (sharded) build.
+        if r is not None and (r._route_hooks or r._forward_hooks):
             return "router observation hooks attached"
     return None
 
@@ -98,6 +99,32 @@ def fallback_reason(sim: "Simulator") -> str | None:
 # ----------------------------------------------------------------------
 # Kernel compilation
 # ----------------------------------------------------------------------
+
+
+def router_flit_rec(r: "Router", port: int) -> tuple:
+    """Delivery record (kind 0) for a flit channel into a router input.
+
+    Aliases the (fifos, flat keys) lists the object-path sink captured at
+    wiring time rather than rebuilding them: identical behaviour, zero
+    extra footprint (benchmarks/check_soa_memory.py guards it).  Module
+    level because :func:`_compile_channels` and the shard engine's tracer
+    seam both build these.
+    """
+    fifos, keys, _ents = r._sink_refs[port]
+    return (
+        0,
+        fifos,
+        keys,
+        r._active_in,
+        r._wake_registry,
+        r,
+        r.inputs[port].depth,
+    )
+
+
+def router_credit_rec(r: "Router", port: int) -> tuple:
+    """Delivery record (kind 2) for a credit channel into a router port."""
+    return (2, r.credit_trackers[port], r._credit_waiter[port], r._asleep)
 
 
 def _compile_router(r: "Router"):
@@ -111,6 +138,7 @@ def _compile_router(r: "Router"):
     """
     router = r
     active_in = r._active_in
+    in_ents = r._in_ents
     asleep = r._asleep
     trackers = r.credit_trackers
     staged_count = r._staged_count
@@ -138,6 +166,7 @@ def _compile_router(r: "Router"):
         # measures faster in the per-flit inner loops.  Callers pass only
         # ``cycle``.
         active_in=active_in,
+        in_ents=in_ents,
         asleep=asleep,
         staged_count=staged_count,
         stage_cap=stage_cap,
@@ -161,10 +190,10 @@ def _compile_router(r: "Router"):
                 touched.clear()
             forwarded = 0
             check_asleep = bool(asleep)
-            for key, ent in active_in.items():
+            for key in active_in:
                 if check_asleep and key in asleep:
                     continue
-                state, fifo, port, vc = ent
+                state, fifo, port, vc = in_ents[key]
                 if not fifo:
                     dead_in.append(key)
                     continue
@@ -232,7 +261,7 @@ def _compile_router(r: "Router"):
                 router.flits_forwarded += forwarded
             if dead_in:
                 for key in dead_in:
-                    del active_in[key]
+                    active_in.remove(key)
                 dead_in.clear()
         # ---------------- output pass: link traversal --------------------
         if active_out:
@@ -329,7 +358,7 @@ def _compile_terminal(t: "Terminal"):
         eject_rate=eject_rate,
         expected_index=expected_index,
         ecred=ecred,
-        deque=deque,
+        Flit=Flit,
     ) -> None:
         # ---------------- injection --------------------------------------
         ap = terminal._active_packet
@@ -349,7 +378,7 @@ def _compile_terminal(t: "Terminal"):
                 if best_vc is not None:
                     source_queue.popleft()
                     terminal._active_packet = ap = packet
-                    terminal._active_flits = deque(packet.flits())
+                    terminal._next_flit_index = 0
                     terminal._active_vc = best_vc
                     packet.inject_cycle = cycle
                     listeners = terminal.inject_listeners
@@ -360,8 +389,8 @@ def _compile_terminal(t: "Terminal"):
                 vc = terminal._active_vc
                 credits_l = icred.credits
                 if credits_l[vc] > 0:
-                    flits = terminal._active_flits
-                    flit = flits.popleft()
+                    idx = terminal._next_flit_index
+                    flit = Flit(ap, idx)
                     credits_l[vc] -= 1
                     icred.occupied_total += 1
                     # Injection channels are wired rate-limited: keep the
@@ -379,10 +408,12 @@ def _compile_terminal(t: "Terminal"):
                         ich._active_set[ich] = None
                     pipe.append((ready, (vc, flit)))
                     terminal.flits_injected += 1
-                    if not flits:
+                    idx += 1
+                    if idx >= ap.size:
                         terminal._active_packet = None
-                        terminal._active_flits = None
                         terminal._active_vc = None
+                    else:
+                        terminal._next_flit_index = idx
         # ---------------- ejection (age arbitration) ---------------------
         if terminal._rx_count:
             budget = eject_rate
@@ -447,27 +478,14 @@ def _compile_channels(net: "Network") -> None:
     Kinds: 0 = flit into a router input, 1 = flit into a terminal,
     2 = credit into a router's output tracker, 3 = credit into a
     terminal's injection tracker.
+
+    Partial (sharded) builds additionally compile records for the boundary
+    *import* channels, which terminate in the same router sinks as regular
+    router-to-router links.  Boundary *export* channels keep ``_soa_rec =
+    None``: the shard engine drains them at chunk boundaries strictly
+    before their latency elapses, so the delivery loop's ``_next_ready``
+    short-circuit rejects them before the record is ever read.
     """
-
-    def router_flit_rec(r: "Router", port: int) -> tuple:
-        # Alias the (fifos, keys, ents) lists the object-path sink captured
-        # at wiring time rather than rebuilding them: identical behaviour,
-        # zero extra footprint (benchmarks/check_soa_memory.py guards it).
-        fifos, keys, ents = r._sink_refs[port]
-        return (
-            0,
-            fifos,
-            keys,
-            ents,
-            r._active_in,
-            r._wake_registry,
-            r,
-            r.inputs[port].depth,
-        )
-
-    def router_credit_rec(r: "Router", port: int) -> tuple:
-        return (2, r.credit_trackers[port], r._credit_waiter[port], r._asleep)
-
     for link in net.links:
         if link.kind == "rr":
             dst_router, dst_port = link.dst
@@ -493,6 +511,13 @@ def _compile_channels(net: "Network") -> None:
             link.credit._soa_rec = router_credit_rec(
                 net.routers[src_router], src_port
             )
+    for key, ch in net.boundary_in.items():
+        r_id, port = net._boundary_in_dst[key]
+        router = net.routers[r_id]
+        if key[0] == "d":
+            ch._soa_rec = router_flit_rec(router, port)
+        else:
+            ch._soa_rec = router_credit_rec(router, port)
 
 
 # ----------------------------------------------------------------------
@@ -515,10 +540,13 @@ class SoACore:
         self.sim = sim
         net: "Network" = sim.network
         self.network = net
+        # None holes are the unowned routers/terminals of a partial build.
         for r in net.routers:
-            r._soa_step = _compile_router(r)
+            if r is not None:
+                r._soa_step = _compile_router(r)
         for t in net.terminals:
-            t._soa_step = _compile_terminal(t)
+            if t is not None:
+                t._soa_step = _compile_terminal(t)
         _compile_channels(net)
 
     def run(self, cycles: int, skip: bool = False) -> None:
@@ -553,7 +581,7 @@ class SoACore:
                     rec = ch._soa_rec
                     kind = rec[0]
                     if kind == 0:  # flit -> router input
-                        _, fifos, keys, ents, active_in, wake, router, depth = rec
+                        _, fifos, keys, active_in, wake, router, depth = rec
                         while pipe and pipe[0][0] <= cycle:
                             vc, flit = pipe.popleft()[1]
                             fifo = fifos[vc]
@@ -565,7 +593,7 @@ class SoACore:
                                 )
                             fifo.append(flit)
                             if n == 0:
-                                active_in[keys[vc]] = ents[vc]
+                                insort(active_in, keys[vc])
                                 wake[router] = None
                     elif kind == 2:  # credit -> router output tracker
                         tracker, waiters, asleep = rec[1], rec[2], rec[3]

@@ -47,7 +47,10 @@ class Terminal:
         # Injection side.
         self.source_queue: deque[Packet] = deque()
         self._active_packet: Packet | None = None
-        self._active_flits: deque[Flit] | None = None
+        # Index of the active packet's next flit.  Flit facade objects are
+        # materialized one at a time at push (memory-lean at-rest state: a
+        # parked packet is one object, never a deque of size+1 flits).
+        self._next_flit_index = 0
         self._active_vc: int | None = None
         self.inject_channel: Channel | None = None
         self.inject_credits: CreditTracker | None = None
@@ -148,8 +151,8 @@ class Terminal:
     def backlog_flits(self) -> int:
         """Flits waiting in the source queue (saturation signal)."""
         n = sum(p.size for p in self.source_queue)
-        if self._active_flits is not None:
-            n += len(self._active_flits)
+        if self._active_packet is not None:
+            n += self._active_packet.size - self._next_flit_index
         return n
 
     @property
@@ -178,7 +181,7 @@ class Terminal:
                 return  # no credited VC this cycle
             self.source_queue.popleft()
             self._active_packet = packet
-            self._active_flits = deque(packet.flits())
+            self._next_flit_index = 0
             self._active_vc = vc
             packet.inject_cycle = cycle
             if self.inject_listeners:
@@ -188,7 +191,9 @@ class Terminal:
         credits = self.inject_credits
         if credits.credits[vc] <= 0:
             return
-        flit = self._active_flits.popleft()
+        packet = self._active_packet
+        idx = self._next_flit_index
+        flit = Flit(packet, idx)
         # CreditTracker.consume and Channel.push inlined (per-flit hot
         # path); the underflow check is the credit test above.
         credits.credits[vc] -= 1
@@ -209,10 +214,12 @@ class Terminal:
                 ch._active_set[ch] = None
         pipe.append((ready, (vc, flit)))
         self.flits_injected += 1
-        if not self._active_flits:
+        idx += 1
+        if idx >= packet.size:
             self._active_packet = None
-            self._active_flits = None
             self._active_vc = None
+        else:
+            self._next_flit_index = idx
 
     def _pick_injection_vc(self, packet: Packet) -> int | None:
         best_vc, best_credits = None, 0

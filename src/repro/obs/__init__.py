@@ -29,6 +29,7 @@ See docs/OBSERVABILITY.md for the event schema and workflow examples.
 
 from .events import EVENT_TYPES, EventRing, TraceEvent, TraceOptions
 from .export import (
+    canonical_jsonl,
     chrome_trace,
     event_line,
     events_jsonl,
@@ -55,6 +56,7 @@ __all__ = [
     "GOLDEN_ALGORITHMS",
     "golden_tracer",
     "golden_jsonl",
+    "canonical_jsonl",
     "chrome_trace",
     "event_line",
     "events_jsonl",

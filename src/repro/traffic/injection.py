@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..network.types import Packet
+from ..network.types import Packet, _next_packet_id
 from .base import TrafficPattern
 from .sizes import SizeDistribution, UniformSize
 
@@ -191,12 +191,20 @@ class SyntheticTraffic(_ScanningTraffic):
         return self._sources[draws < self._p]
 
     def _apply(self, cycle: int, srcs: np.ndarray) -> None:
+        terminals = self.network.terminals
         for src in srcs:
             src = int(src)
             dst = self.pattern.dest(src, self.rng)
             size = self.size_dist.sample(self.rng)
+            if terminals[src] is None:
+                # Unowned source of a partial (sharded) build: this shard
+                # replays the full RNG stream for pid/stream alignment but
+                # only its own terminals inject.  Consume the packet id the
+                # owning shard assigns so pids stay aligned across shards.
+                _next_packet_id()
+                continue
             pkt = Packet(src, dst, size, create_cycle=cycle)
-            self.network.terminals[src].offer(pkt)
+            terminals[src].offer(pkt)
             self.packets_generated += 1
             self.flits_generated += size
 
@@ -266,11 +274,15 @@ class BurstyTraffic(_ScanningTraffic):
         return np.nonzero(np.logical_and(self._on, draws < self._p_on))[0]
 
     def _apply(self, cycle: int, srcs: np.ndarray) -> None:
+        terminals = self.network.terminals
         for src in srcs:
             src = int(src)
             dst = self.pattern.dest(src, self.rng)
             size = self.size_dist.sample(self.rng)
-            self.network.terminals[src].offer(
+            if terminals[src] is None:
+                _next_packet_id()  # unowned source: pid alignment only
+                continue
+            terminals[src].offer(
                 Packet(src, dst, size, create_cycle=cycle)
             )
             self.packets_generated += 1

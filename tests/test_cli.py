@@ -245,6 +245,37 @@ def test_bench_regenerates_summary(tmp_path, capsys):
     assert all(b["min_s"] > 0 for b in summary["benchmarks"])
 
 
+def test_bench_default_regen_carries_recorded_xl_entries():
+    """A default-tier regeneration must not drop the recorded 16x16x16
+    numbers: they only refresh under ``--xl`` (or an explicit ``--only``),
+    and the CI ratchet SKIPs names absent from a fresh run."""
+    from repro.analysis.bench import SCENARIOS_XL, merge_seed_baselines
+
+    xl_name = next(iter(SCENARIOS_XL))
+    recorded = {
+        "benchmarks": [
+            {"name": xl_name, "min_s": 9.0, "median_s": 9.0, "mean_s": 9.0,
+             "rounds": 1},
+            {"name": "zz_gone_scenario", "min_s": 1.0},
+        ],
+    }
+    fresh = {"benchmarks": [
+        {"name": "test_perf_network_construction", "min_s": 0.5},
+    ]}
+    merged = merge_seed_baselines(fresh, recorded)
+    names = [b["name"] for b in merged["benchmarks"]]
+    assert names == sorted(names)
+    assert xl_name in names  # carried over verbatim
+    assert "zz_gone_scenario" not in names  # only XL entries are carried
+
+
+def test_bench_unknown_xl_name_still_rejected():
+    from repro.analysis.bench import run_benchmarks
+
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        run_benchmarks(["test_perf_network_construction_32x32x32"])
+
+
 def test_bench_only_without_compare_exits_2(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["bench", "--only", "test_perf_simulation_cycles_idle"])

@@ -393,7 +393,7 @@ def test_revoke_unstarted_routes_direct():
     assert state.route is None
     assert r.out_vc_owner[1][0] is None
     assert pkt.hops == 0  # telemetry un-counted
-    assert (0, 0) in r._active_in  # re-woken for rerouting
+    assert (0, 0) in r.active_input_keys()  # re-woken for rerouting
 
     # A started wormhole (head flit already forwarded) must drain, not revoke.
     pkt2 = Packet(0, 3, size=2, create_cycle=0)

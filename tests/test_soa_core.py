@@ -309,7 +309,7 @@ def test_revoke_unstarted_routes_direct_under_soa():
 
     assert r.revoke_unstarted_routes({1}) == 1
     assert state.route is None and r.out_vc_owner[1][0] is None
-    assert (0, 0) in r._active_in  # re-woken in the dict the kernels read
+    assert (0, 0) in r.active_input_keys()  # re-woken in the schedule the kernels read
 
     dst = net.terminals[3]
     before = dst.flits_ejected

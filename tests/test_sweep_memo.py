@@ -151,7 +151,7 @@ def test_absent_and_corrupt_entries_miss(tmp_path):
 def test_stale_salt_invalidates(tmp_path):
     old = SweepMemo(root=str(tmp_path), salt=SIM_SALT)
     old.put(_spec(), _result(0.2))
-    bumped = SweepMemo(root=str(tmp_path), salt="repro-sim/2")
+    bumped = SweepMemo(root=str(tmp_path), salt=SIM_SALT + "-bumped")
     assert bumped.get(_spec()) is None
     # The archived entry is untouched — rolling back the salt finds it again.
     assert SweepMemo(root=str(tmp_path), salt=SIM_SALT).get(_spec()) is not None
